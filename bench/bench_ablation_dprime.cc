@@ -1,0 +1,59 @@
+// Ablation: the paper fixes D' = 5 for Table 2 without sweeping it. This
+// bench justifies (or challenges) that choice by sweeping the target channel
+// count D' for the PCA adapter across a subset of datasets, reporting
+// accuracy, PCA explained variance, measured wall-clock of the scaled runs
+// and the simulated paper-scale V100 time.
+
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "core/pca_adapter.h"
+#include "experiments/table.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  std::vector<MethodSpec> methods;
+  for (int64_t dprime : {2, 5, 10, 20}) {
+    MethodSpec m = AdapterMethod(core::AdapterKind::kPca, dprime);
+    m.label = "PCA_D" + std::to_string(dprime);
+    methods.push_back(m);
+  }
+  // A representative spread of channel counts: medium (NATOPS 24),
+  // high (Heartbeat 61), very high (PEMS-SF 963).
+  experiments::ExperimentConfig subset = config;
+  subset.dataset_filter = {"NATOPS", "Heartbeat", "PEMS-SF"};
+  experiments::ExperimentRunner subset_runner(subset);
+
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment};
+  auto grid =
+      RunGrid(&subset_runner, subset_runner.Datasets(), kinds, methods);
+
+  experiments::Table table({"Dataset", "D'", "Accuracy", "MeasuredSeconds",
+                            "SimulatedV100Seconds"});
+  for (const auto& spec : subset_runner.Datasets()) {
+    for (const auto& m : methods) {
+      const auto& cell = grid.at({spec.name, models::ModelKind::kMoment,
+                                  m.label});
+      table.AddRow({spec.name, m.label.substr(5), cell.Cell(),
+                    experiments::FormatDouble(cell.MeanMeasuredSeconds(), 2),
+                    experiments::FormatDouble(cell.MeanSimulatedSeconds(), 1)});
+    }
+  }
+  std::printf(
+      "Ablation: PCA target dimension D' (accuracy vs cost; the paper fixes "
+      "D'=5)\n\n%s\n",
+      table.ToString().c_str());
+  auto io = table.WriteCsv(BenchOutputDir() + "/ablation_dprime.csv");
+  if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

@@ -1,0 +1,67 @@
+// Reproduces Figure 1: running time of each fine-tuning configuration,
+// averaged across the 12 datasets, for (a) MOMENT and (b) ViT. Reports both
+// the simulated paper-scale V100 seconds (the quantity Figure 1 plots) and
+// the measured wall-clock of our scaled CPU runs — the *shape* must agree:
+// static adapters are roughly an order of magnitude faster than no-adapter
+// for MOMENT, ~2x for ViT, and lcomb is as slow as no-adapter.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+#include "stats/stats.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  const auto methods = PaperTable2Methods(config.out_channels);
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid = RunGrid(&runner, runner.Datasets(), kinds, methods);
+
+  for (models::ModelKind kind : kinds) {
+    experiments::Table table({"Method", "SimulatedV100Seconds(avg)",
+                              "MeasuredScaledSeconds(avg)",
+                              "SpeedupVsNoAdapter(sim)"});
+    // Baseline: head-only without adapter.
+    std::vector<double> base_sim;
+    for (const auto& spec : runner.Datasets()) {
+      base_sim.push_back(grid.at({spec.name, kind, "no_adapter"})
+                             .MeanSimulatedSeconds());
+    }
+    const double base = stats::Mean(base_sim);
+    for (const auto& m : methods) {
+      std::vector<double> sim, measured;
+      for (const auto& spec : runner.Datasets()) {
+        const auto& cell = grid.at({spec.name, kind, m.label});
+        sim.push_back(cell.MeanSimulatedSeconds());
+        const double s = cell.MeanMeasuredSeconds();
+        if (!std::isnan(s)) measured.push_back(s);
+      }
+      const double sim_mean = stats::Mean(sim);
+      table.AddRow({m.label, experiments::FormatDouble(sim_mean, 1),
+                    experiments::FormatDouble(stats::Mean(measured), 2),
+                    experiments::FormatDouble(base / sim_mean, 2) + "x"});
+    }
+    std::printf("Figure 1%s: running time for %s (averaged across datasets)\n\n%s\n",
+                kind == models::ModelKind::kMoment ? "a" : "b",
+                models::ModelKindName(kind), table.ToString().c_str());
+    const std::string csv =
+        BenchOutputDir() + (kind == models::ModelKind::kMoment
+                                ? "/fig1a_runtime_moment.csv"
+                                : "/fig1b_runtime_vit.csv");
+    auto io = table.WriteCsv(csv);
+    if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

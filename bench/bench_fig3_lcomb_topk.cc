@@ -1,0 +1,42 @@
+// Reproduces Figure 3 (Appendix C.2): per-dataset comparison between the
+// plain lcomb adapter and its top-k regularized variant (k = 7) for both
+// foundation models.
+
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  std::vector<MethodSpec> methods{
+      AdapterMethod(core::AdapterKind::kLcomb, config.out_channels),
+      AdapterMethod(core::AdapterKind::kLcombTopK, config.out_channels)};
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid = RunGrid(&runner, runner.Datasets(), kinds, methods);
+
+  experiments::Table table({"Dataset", "Model", "lcomb", "lcomb_top_k"});
+  for (const auto& spec : runner.Datasets()) {
+    for (models::ModelKind kind : kinds) {
+      table.AddRow({spec.name, models::ModelKindName(kind),
+                    grid.at({spec.name, kind, "lcomb"}).Cell(),
+                    grid.at({spec.name, kind, "lcomb_top_k"}).Cell()});
+    }
+  }
+  std::printf("Figure 3: lcomb vs lcomb_top_k (k = 7)\n\n%s\n",
+              table.ToString().c_str());
+  auto io = table.WriteCsv(BenchOutputDir() + "/fig3_lcomb_topk.csv");
+  if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

@@ -1,0 +1,71 @@
+// Reproduces Figure 4 (Appendix C.3): average rank of each adapter across the
+// 12 datasets for MOMENT (a) and ViT (b). Lower rank = better accuracy. The
+// paper finds PCA best on both models and lcomb worst for MOMENT.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+#include "stats/stats.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  // Rank the five adapter families of Figure 4 (PCA, SVD, Rand_Proj, VAR,
+  // lcomb).
+  std::vector<MethodSpec> methods{
+      AdapterMethod(core::AdapterKind::kPca, config.out_channels),
+      AdapterMethod(core::AdapterKind::kSvd, config.out_channels),
+      AdapterMethod(core::AdapterKind::kRandProj, config.out_channels),
+      AdapterMethod(core::AdapterKind::kVar, config.out_channels),
+      AdapterMethod(core::AdapterKind::kLcomb, config.out_channels)};
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid = RunGrid(&runner, runner.Datasets(), kinds, methods);
+
+  for (models::ModelKind kind : kinds) {
+    // Build per-dataset accuracy vectors; datasets where any method has no
+    // completed accuracy (COM/TO) are skipped for ranking, matching how the
+    // paper aggregates only finished runs.
+    std::vector<std::vector<double>> per_dataset;
+    for (const auto& spec : runner.Datasets()) {
+      std::vector<double> row;
+      bool usable = true;
+      for (const auto& m : methods) {
+        const double acc = grid.at({spec.name, kind, m.label}).MeanAccuracy();
+        if (std::isnan(acc)) usable = false;
+        row.push_back(acc);
+      }
+      if (usable) per_dataset.push_back(std::move(row));
+    }
+    const std::vector<double> ranks = stats::AverageRanks(per_dataset);
+    experiments::Table table({"Adapter", "AverageRank"});
+    for (size_t i = 0; i < methods.size(); ++i) {
+      table.AddRow({methods[i].label,
+                    experiments::FormatDouble(ranks.empty() ? 0.0 : ranks[i], 2)});
+    }
+    std::printf(
+        "Figure 4%s: adapter average rank for %s over %zu rankable datasets "
+        "(lower is better)\n\n%s\n",
+        kind == models::ModelKind::kMoment ? "a" : "b",
+        models::ModelKindName(kind), per_dataset.size(),
+        table.ToString().c_str());
+    const std::string csv = BenchOutputDir() +
+                            (kind == models::ModelKind::kMoment
+                                 ? "/fig4a_ranks_moment.csv"
+                                 : "/fig4b_ranks_vit.csv");
+    auto io = table.WriteCsv(csv);
+    if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

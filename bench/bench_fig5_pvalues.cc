@@ -1,0 +1,122 @@
+// Reproduces Figure 5 (Appendix C.4): heatmaps of pairwise Welch p-values
+// between fine-tuning methods for MOMENT (a) and ViT (b). The paper's
+// conclusion — no statistically significant difference between any pair of
+// methods (minimum p-value 0.46 for MOMENT and 0.25 for ViT) — is what the
+// adapters' "no accuracy loss" claim rests on.
+//
+// Protocol: for each method, collect its per-seed accuracies averaged over
+// datasets where *all* compared methods completed, then run a two-sample
+// Welch t-test per method pair.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+#include "stats/stats.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  const auto methods = PaperTable2Methods(config.out_channels);
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid = RunGrid(&runner, runner.Datasets(), kinds, methods);
+
+  for (models::ModelKind kind : kinds) {
+    // Datasets where every method completed on every seed.
+    std::vector<std::string> usable;
+    for (const auto& spec : runner.Datasets()) {
+      bool all = true;
+      for (const auto& m : methods) {
+        if (!grid.at({spec.name, kind, m.label}).AllCompleted()) all = false;
+      }
+      if (all) usable.push_back(spec.name);
+    }
+    // Per-method samples: one accuracy per (dataset, seed) pair, pooled —
+    // the paper's aggregate heatmap compares methods across the whole
+    // benchmark, so between-dataset variance is part of each sample.
+    std::vector<std::vector<double>> samples(methods.size());
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      for (const auto& name : usable) {
+        const auto& cell = grid.at({name, kind, methods[mi].label});
+        for (const auto& record : cell.seeds) {
+          samples[mi].push_back(record.measured->test_accuracy);
+        }
+      }
+    }
+    auto pvals = stats::PairwisePValueMatrix(samples);
+
+    std::vector<std::string> header{"Method"};
+    for (const auto& m : methods) header.push_back(m.label);
+    experiments::Table table(header);
+    double min_p = 1.0;
+    double min_p_static = 1.0;  // excluding the gradient-trained lcomb pair
+    auto is_learnable = [&](size_t idx) {
+      return methods[idx].label.rfind("lcomb", 0) == 0;
+    };
+    for (size_t i = 0; i < methods.size(); ++i) {
+      std::vector<std::string> row{methods[i].label};
+      for (size_t j = 0; j < methods.size(); ++j) {
+        row.push_back(std::isnan(pvals[i][j])
+                          ? "-"
+                          : experiments::FormatDouble(pvals[i][j], 2));
+        if (i != j && !std::isnan(pvals[i][j])) {
+          min_p = std::min(min_p, pvals[i][j]);
+          if (!is_learnable(i) && !is_learnable(j)) {
+            min_p_static = std::min(min_p_static, pvals[i][j]);
+          }
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf(
+        "Figure 5%s: pairwise Welch p-values for %s over %zu datasets "
+        "(p ~ 1 = methods statistically alike)\n\n%sminimum off-diagonal "
+        "p-value: %.2f (paper: %s); among head-only + static adapters: %.2f\n",
+        kind == models::ModelKind::kMoment ? "a" : "b",
+        models::ModelKindName(kind), usable.size(), table.ToString().c_str(),
+        min_p, kind == models::ModelKind::kMoment ? "0.46" : "0.25",
+        min_p_static);
+
+    // Omnibus Friedman rank test over the usable datasets (extension: the
+    // standard TSC significance companion to the pairwise heatmap).
+    std::vector<std::vector<double>> per_dataset;
+    for (const auto& name : usable) {
+      std::vector<double> row;
+      for (const auto& m : methods) {
+        row.push_back(grid.at({name, kind, m.label}).MeanAccuracy());
+      }
+      per_dataset.push_back(std::move(row));
+    }
+    if (auto friedman = stats::FriedmanTest(per_dataset); friedman.ok()) {
+      auto cd = stats::NemenyiCriticalDifference(
+          static_cast<int64_t>(methods.size()),
+          static_cast<int64_t>(per_dataset.size()));
+      std::printf(
+          "Friedman test: chi2 = %.2f (df %.0f), p = %.3f%s; Nemenyi CD at "
+          "alpha=0.05: %.2f\n\n",
+          friedman->chi_square, friedman->degrees_of_freedom,
+          friedman->p_value,
+          friedman->p_value < 0.05 ? " (methods differ somewhere)"
+                                   : " (no significant overall difference)",
+          cd.ok() ? *cd : 0.0);
+    }
+    const std::string csv = BenchOutputDir() +
+                            (kind == models::ModelKind::kMoment
+                                 ? "/fig5a_pvalues_moment.csv"
+                                 : "/fig5b_pvalues_vit.csv");
+    auto io = table.WriteCsv(csv);
+    if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

@@ -1,0 +1,67 @@
+// Reproduces Figure 6 (Appendix C.5): full fine-tuning vs adapter+head
+// fine-tuning for the lcomb adapter, per dataset, for both foundation models.
+// Also reports the fit-on-GPU counts behind Section 4's 2.4x / 4.5x claim.
+
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  // The adapter+head method keeps Table 2's "lcomb" label so the shared run
+  // cache is reused across binaries.
+  MethodSpec adapter_head =
+      AdapterMethod(core::AdapterKind::kLcomb, config.out_channels);
+  MethodSpec full_ft =
+      AdapterMethod(core::AdapterKind::kLcomb, config.out_channels);
+  full_ft.label = "lcomb_full_ft";
+  full_ft.strategy = finetune::Strategy::kFullFineTune;
+
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid =
+      RunGrid(&runner, runner.Datasets(), kinds, {adapter_head, full_ft});
+
+  experiments::Table table(
+      {"Dataset", "Model", "lcomb adapter+head", "lcomb full fine-tune"});
+  for (const auto& spec : runner.Datasets()) {
+    for (models::ModelKind kind : kinds) {
+      table.AddRow({spec.name, models::ModelKindName(kind),
+                    grid.at({spec.name, kind, adapter_head.label}).Cell(),
+                    grid.at({spec.name, kind, full_ft.label}).Cell()});
+    }
+  }
+  std::printf("Figure 6: full fine-tuning vs adapter+head for lcomb\n\n%s\n",
+              table.ToString().c_str());
+  auto io = table.WriteCsv(BenchOutputDir() + "/fig6_full_vs_adapter.csv");
+  if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+
+  for (models::ModelKind kind : kinds) {
+    int adapter_fit = 0, full_fit = 0;
+    for (const auto& spec : runner.Datasets()) {
+      if (grid.at({spec.name, kind, adapter_head.label}).AllCompleted()) {
+        ++adapter_fit;
+      }
+      if (grid.at({spec.name, kind, full_ft.label}).AllCompleted()) {
+        ++full_fit;
+      }
+    }
+    std::printf(
+        "%s: lcomb adapter+head fits %d/%zu datasets, lcomb full FT fits "
+        "%d/%zu\n",
+        models::ModelKindName(kind), adapter_fit, runner.Datasets().size(),
+        full_fit, runner.Datasets().size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

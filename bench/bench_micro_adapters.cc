@@ -1,0 +1,114 @@
+// Ablation micro-benchmarks for the adapters themselves: fit cost and
+// transform throughput as the channel count D grows. This quantifies the
+// design trade-off called out in DESIGN.md — PCA/SVD pay an O(D^2)-plus
+// eigendecomposition at fit time that Rand_Proj and VAR avoid, while all
+// static adapters share the same cheap linear transform.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/adapter.h"
+#include "tensor/tensor.h"
+
+namespace tsfm {
+namespace {
+
+Tensor MakeData(int64_t d, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandN({32, 32, d}, &rng);
+}
+
+std::vector<int64_t> MakeLabels(int64_t n) {
+  std::vector<int64_t> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) y[static_cast<size_t>(i)] = i % 2;
+  return y;
+}
+
+template <core::AdapterKind kKind>
+void BM_AdapterFit(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Tensor x = MakeData(d, 1);
+  auto labels = MakeLabels(32);
+  core::AdapterOptions options;
+  options.out_channels = 5;
+  for (auto _ : state) {
+    auto adapter = core::CreateAdapter(kKind, options);
+    benchmark::DoNotOptimize(adapter->Fit(x, labels).ok());
+  }
+}
+BENCHMARK_TEMPLATE(BM_AdapterFit, core::AdapterKind::kPca)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_TEMPLATE(BM_AdapterFit, core::AdapterKind::kSvd)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_TEMPLATE(BM_AdapterFit, core::AdapterKind::kRandProj)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_TEMPLATE(BM_AdapterFit, core::AdapterKind::kVar)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+template <core::AdapterKind kKind>
+void BM_AdapterTransform(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Tensor x = MakeData(d, 2);
+  auto labels = MakeLabels(32);
+  core::AdapterOptions options;
+  options.out_channels = 5;
+  auto adapter = core::CreateAdapter(kKind, options);
+  auto st = adapter->Fit(x, labels);
+  if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  for (auto _ : state) {
+    auto out = adapter->Transform(x);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK_TEMPLATE(BM_AdapterTransform, core::AdapterKind::kPca)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_TEMPLATE(BM_AdapterTransform, core::AdapterKind::kVar)
+    ->Arg(64)
+    ->Arg(256);
+
+void BM_PatchPcaFit(benchmark::State& state) {
+  // Patch-PCA fit cost vs window size: the design matrix widens to pws * D.
+  const int64_t pws = state.range(0);
+  Tensor x = MakeData(32, 3);
+  auto labels = MakeLabels(32);
+  core::AdapterOptions options;
+  options.out_channels = 5;
+  options.pca_patch_window = pws;
+  for (auto _ : state) {
+    auto adapter = core::CreateAdapter(core::AdapterKind::kPca, options);
+    benchmark::DoNotOptimize(adapter->Fit(x, labels).ok());
+  }
+}
+BENCHMARK(BM_PatchPcaFit)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_LcombTransformVar(benchmark::State& state) {
+  // Differentiable transform of the learnable adapter (per training step).
+  const int64_t d = state.range(0);
+  Tensor x = MakeData(d, 4);
+  auto labels = MakeLabels(32);
+  core::AdapterOptions options;
+  options.out_channels = 5;
+  auto adapter = core::CreateAdapter(core::AdapterKind::kLcombTopK, options);
+  auto st = adapter->Fit(x, labels);
+  if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  for (auto _ : state) {
+    ag::Var out = adapter->TransformVar(ag::Constant(x));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_LcombTransformVar)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace tsfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Micro-benchmarks of the tensor and linear-algebra kernels everything else
+// is built on: matmul, softmax, layer-norm math, eigendecomposition and
+// truncated SVD. Run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "linalg/linalg.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+void BM_MatMulSquare(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandN({n, n}, &rng);
+  Tensor b = Tensor::RandN({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulBatched(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::RandN({batch, 32, 64}, &rng);
+  Tensor b = Tensor::RandN({batch, 64, 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMulBatched)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(3);
+  Tensor t = Tensor::RandN({rows, 128}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(t));
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(1024);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = Tensor::RandN({64, 128, 64}, &rng);
+  Tensor bias = Tensor::RandN({64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, bias));
+  }
+}
+BENCHMARK(BM_BroadcastAdd);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(5);
+  Tensor b = Tensor::RandN({d, d}, &rng);
+  Tensor a = MatMul(TransposeLast2(b), b);
+  for (auto _ : state) {
+    auto r = SymmetricEigen(a);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_TopKEigenSubspace(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(6);
+  Tensor b = Tensor::RandN({d, 16}, &rng);
+  Tensor a = MatMul(b, TransposeLast2(b));
+  for (auto _ : state) {
+    auto r = TopKEigen(a, 5);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_TopKEigenSubspace)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(7);
+  Tensor x = Tensor::RandN({512, d}, &rng);
+  for (auto _ : state) {
+    auto r = TruncatedSvd(x, 5);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_AutogradBackwardMlp(benchmark::State& state) {
+  // Forward+backward through a 2-layer MLP expression: measures tape
+  // overhead relative to raw kernels.
+  Rng rng(8);
+  Tensor x = Tensor::RandN({32, 64}, &rng);
+  Tensor w1 = Tensor::RandN({64, 128}, &rng, 0.1f);
+  Tensor w2 = Tensor::RandN({128, 10}, &rng, 0.1f);
+  std::vector<int64_t> labels(32);
+  for (int64_t i = 0; i < 32; ++i) labels[static_cast<size_t>(i)] = i % 10;
+  for (auto _ : state) {
+    ag::Var vw1(w1, true), vw2(w2, true);
+    ag::Var h = ag::Gelu(ag::MatMul(ag::Constant(x), vw1));
+    ag::Var logits = ag::MatMul(h, vw2);
+    ag::Var loss = ag::CrossEntropy(logits, labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(vw1.grad());
+  }
+}
+BENCHMARK(BM_AutogradBackwardMlp);
+
+}  // namespace
+}  // namespace tsfm
+
+BENCHMARK_MAIN();

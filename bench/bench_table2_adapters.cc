@@ -1,0 +1,60 @@
+// Reproduces Table 2 of the paper: accuracy of MOMENT and ViT with each
+// adapter configuration (head-only baseline + PCA / SVD / Rand_Proj / VAR /
+// lcomb / lcomb_top_k at D' = 5), mean +- std over seeds, with COM/TO
+// verdicts where the simulated paper-scale run would not complete.
+
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  const auto methods = PaperTable2Methods(config.out_channels);
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid = RunGrid(&runner, runner.Datasets(), kinds, methods);
+
+  std::vector<std::string> header{"Dataset", "Model"};
+  for (const auto& m : methods) header.push_back(m.label);
+  experiments::Table table(header);
+  for (const auto& spec : runner.Datasets()) {
+    for (models::ModelKind kind : kinds) {
+      std::vector<std::string> row{spec.name, models::ModelKindName(kind)};
+      for (const auto& m : methods) {
+        row.push_back(grid.at({spec.name, kind, m.label}).Cell());
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf(
+      "Table 2: adapter comparison at D' = %lld (accuracy mean+-std over %lld "
+      "seeds; COM/TO = simulated V100 verdict at paper scale)\n\n%s\n",
+      static_cast<long long>(config.out_channels),
+      static_cast<long long>(config.num_seeds), table.ToString().c_str());
+  auto io = table.WriteCsv(BenchOutputDir() + "/table2_adapters.csv");
+  if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+
+  // Fit-on-GPU counts with lcomb (Section 4's 2.4x / 4.5x claim).
+  for (models::ModelKind kind : kinds) {
+    int fit = 0;
+    for (const auto& spec : runner.Datasets()) {
+      if (grid.at({spec.name, kind, "lcomb"}).AllCompleted()) ++fit;
+    }
+    std::printf("%s + lcomb fine-tunes %d/%zu datasets on the simulated V100 "
+                "(paper: %s)\n",
+                models::ModelKindName(kind), fit, runner.Datasets().size(),
+                kind == models::ModelKind::kVit ? "12/12" : "9/12");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

@@ -1,0 +1,50 @@
+// Reproduces Tables 4 and 5 (Appendix C.1): sensitivity of the PCA adapter to
+// its hyper-parameters — plain PCA, Scaled PCA (standardized columns), and
+// Patch-PCA with window sizes 8 and 16 — for MOMENT (Table 4) and ViT
+// (Table 5).
+
+#include <cstdio>
+
+#include "bench/grid.h"
+#include "experiments/table.h"
+
+namespace tsfm::bench {
+namespace {
+
+int Main() {
+  experiments::ExperimentConfig config = experiments::ConfigFromEnv();
+  experiments::ExperimentRunner runner(config);
+
+  const auto methods = PcaSensitivityMethods(config.out_channels);
+  const std::vector<models::ModelKind> kinds{models::ModelKind::kMoment,
+                                             models::ModelKind::kVit};
+  auto grid = RunGrid(&runner, runner.Datasets(), kinds, methods);
+
+  for (models::ModelKind kind : kinds) {
+    std::vector<std::string> header{"Dataset"};
+    for (const auto& m : methods) header.push_back(m.label);
+    experiments::Table table(header);
+    for (const auto& spec : runner.Datasets()) {
+      std::vector<std::string> row{spec.name};
+      for (const auto& m : methods) {
+        row.push_back(grid.at({spec.name, kind, m.label}).Cell());
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("Table %s: PCA hyper-parameter sensitivity for %s\n\n%s\n",
+                kind == models::ModelKind::kMoment ? "4" : "5",
+                models::ModelKindName(kind), table.ToString().c_str());
+    const std::string csv =
+        BenchOutputDir() + (kind == models::ModelKind::kMoment
+                                ? "/table4_pca_moment.csv"
+                                : "/table5_pca_vit.csv");
+    auto io = table.WriteCsv(csv);
+    if (!io.ok()) std::fprintf(stderr, "csv: %s\n", io.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() { return tsfm::bench::Main(); }

@@ -1,0 +1,76 @@
+#ifndef TSFM_BENCH_GRID_H_
+#define TSFM_BENCH_GRID_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "experiments/runner.h"
+
+namespace tsfm::bench {
+
+/// One column of a paper table: an adapter (or none) plus a fine-tuning
+/// strategy.
+struct MethodSpec {
+  std::string label;
+  std::optional<core::AdapterKind> adapter;
+  core::AdapterOptions options;
+  finetune::Strategy strategy = finetune::Strategy::kAdapterPlusHead;
+};
+
+/// "head / no adapter" column of Table 2.
+MethodSpec HeadOnlyMethod();
+
+/// Adapter+head column for `kind` at D' = `out_channels`.
+MethodSpec AdapterMethod(core::AdapterKind kind, int64_t out_channels);
+
+/// The seven columns of the paper's Table 2 (head-only + six adapters),
+/// D' fixed to `out_channels` (the paper uses 5).
+std::vector<MethodSpec> PaperTable2Methods(int64_t out_channels);
+
+/// The four PCA configurations of Tables 4-5: PCA, Scaled PCA, Patch_8,
+/// Patch_16.
+std::vector<MethodSpec> PcaSensitivityMethods(int64_t out_channels);
+
+/// Aggregated per-seed results of one (dataset, model, method) cell.
+struct CellResult {
+  std::vector<experiments::RunRecord> seeds;
+
+  /// "mean+-std", or the COM/TO verdict if any seed hit one.
+  std::string Cell() const;
+  /// Mean test accuracy over completed seeds (NaN if none completed).
+  double MeanAccuracy() const;
+  /// True if every seed completed (no COM/TO).
+  bool AllCompleted() const;
+  /// Mean measured wall-clock of the scaled runs (seconds).
+  double MeanMeasuredSeconds() const;
+  /// Mean simulated paper-scale seconds (V100 cost model).
+  double MeanSimulatedSeconds() const;
+};
+
+using GridKey =
+    std::tuple<std::string /*dataset*/, models::ModelKind, std::string>;
+
+/// Runs the full (dataset x model x method x seed) grid, printing progress to
+/// stderr. A failing run aborts the process with its status message (grids
+/// drive tested components; a failure indicates a bug, not an expected
+/// condition).
+///
+/// Results are cached on disk (keyed by dataset/model/method/strategy/seed
+/// and the generator caps) so the table and figure binaries share one set of
+/// runs instead of re-training per binary. Delete the cache file (printed at
+/// startup) to force re-running.
+std::map<GridKey, CellResult> RunGrid(
+    experiments::ExperimentRunner* runner,
+    const std::vector<data::UeaDatasetSpec>& datasets,
+    const std::vector<models::ModelKind>& model_kinds,
+    const std::vector<MethodSpec>& methods);
+
+/// Output directory for bench CSVs (env TSFM_BENCH_OUT, default ".").
+std::string BenchOutputDir();
+
+}  // namespace tsfm::bench
+
+#endif  // TSFM_BENCH_GRID_H_

@@ -1,0 +1,58 @@
+// Scenario: short-horizon forecasting with the same pretrained encoder used
+// for classification — a linear forecasting head on top of the frozen MOMENT
+// embedding (the paper's "more complex time series tasks" future-work
+// direction). Compared against the persistence (last-value) baseline.
+//
+// Build & run:  ./build/examples/forecasting
+
+#include <cstdio>
+
+#include "data/corpus.h"
+#include "finetune/forecast.h"
+#include "models/pretrained.h"
+#include "tensor/ops.h"
+
+int main() {
+  using namespace tsfm;
+
+  models::PretrainOptions pretrain;
+  pretrain.corpus_size = 512;
+  pretrain.series_length = 64;
+  pretrain.epochs = 4;
+  auto model = models::LoadOrPretrain(models::ModelKind::kMoment,
+                                      models::MomentSmallConfig(), pretrain,
+                                      "checkpoints/impute_moment.ckpt");
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  // Train/evaluate on held-out draws from the synthetic corpus family.
+  Tensor train = data::GeneratePretrainCorpus(256, 64, 31);
+  Tensor test = data::GeneratePretrainCorpus(64, 64, 32);
+
+  for (int64_t horizon : {4ll, 8ll, 16ll}) {
+    Rng head_rng(11 + static_cast<uint64_t>(horizon));
+    finetune::ForecastingHead head((*model)->embedding_dim(), horizon,
+                                   &head_rng);
+    finetune::ForecastOptions options;
+    options.horizon = horizon;
+    options.epochs = 60;
+    auto loss = finetune::FitForecaster(**model, &head, train, options);
+    if (!loss.ok()) {
+      std::fprintf(stderr, "fit: %s\n", loss.status().ToString().c_str());
+      return 1;
+    }
+    auto metrics = finetune::EvaluateForecaster(**model, head, test);
+    if (!metrics.ok()) return 1;
+    std::printf(
+        "horizon %2lld: MSE %.3f (persistence %.3f)  MAE %.3f (persistence "
+        "%.3f)\n",
+        static_cast<long long>(horizon), metrics->mse, metrics->naive_mse,
+        metrics->mae, metrics->naive_mae);
+  }
+  std::printf(
+      "\nOne pretrained encoder, three heads so far: classification, "
+      "imputation, forecasting.\n");
+  return 0;
+}

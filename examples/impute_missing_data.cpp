@@ -1,0 +1,82 @@
+// Scenario: a sensor feed with dropouts. MOMENT-style models are pretrained
+// by reconstructing masked patches, so the same pretrained encoder that
+// powers classification can fill gaps in a series — one of the "more complex
+// time series tasks" the paper's conclusion points to. This example drops a
+// fraction of the points from synthetic series and compares MOMENT's
+// imputation against zero- and mean-filling.
+//
+// Build & run:  ./build/examples/impute_missing_data
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/corpus.h"
+#include "models/moment.h"
+#include "models/pretrained.h"
+#include "tensor/ops.h"
+
+int main() {
+  using namespace tsfm;
+
+  models::PretrainOptions pretrain;
+  pretrain.corpus_size = 512;
+  pretrain.epochs = 4;
+  auto model_or = models::LoadOrPretrain(models::ModelKind::kMoment,
+                                         models::MomentSmallConfig(), pretrain,
+                                         "checkpoints/impute_moment.ckpt");
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "model: %s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  auto* moment = static_cast<models::MomentModel*>(model_or->get());
+
+  // Held-out series from the same corpus family, with random dropouts.
+  Tensor series = data::GeneratePretrainCorpus(32, 64, 2024);
+  Rng rng(5);
+  for (double drop_rate : {0.1, 0.25, 0.5}) {
+    Tensor mask = Tensor::Zeros(series.shape());
+    for (int64_t i = 0; i < mask.numel(); ++i) {
+      if (rng.Uniform() < drop_rate) mask.mutable_data()[i] = 1.0f;
+    }
+    auto imputed = moment->Impute(series, mask);
+    if (!imputed.ok()) {
+      std::fprintf(stderr, "impute: %s\n",
+                   imputed.status().ToString().c_str());
+      return 1;
+    }
+    // Compare RMSE on the missing positions against naive fills.
+    double err_model = 0, err_zero = 0, err_mean = 0;
+    int64_t missing = 0;
+    // Per-series mean of *visible* points (what a simple pipeline would use).
+    for (int64_t s = 0; s < series.dim(0); ++s) {
+      double visible_mean = 0;
+      int64_t visible = 0;
+      for (int64_t t = 0; t < series.dim(1); ++t) {
+        if (mask.at({s, t}) == 0.0f) {
+          visible_mean += series.at({s, t});
+          ++visible;
+        }
+      }
+      visible_mean /= std::max<int64_t>(visible, 1);
+      for (int64_t t = 0; t < series.dim(1); ++t) {
+        if (mask.at({s, t}) == 0.0f) continue;
+        ++missing;
+        const double truth = series.at({s, t});
+        const double pred = imputed->at({s, t});
+        err_model += (pred - truth) * (pred - truth);
+        err_zero += truth * truth;
+        err_mean += (visible_mean - truth) * (visible_mean - truth);
+      }
+    }
+    std::printf(
+        "drop %4.0f%%: RMSE model %.3f | zero-fill %.3f | mean-fill %.3f "
+        "(%lld points)\n",
+        100.0 * drop_rate, std::sqrt(err_model / missing),
+        std::sqrt(err_zero / missing), std::sqrt(err_mean / missing),
+        static_cast<long long>(missing));
+  }
+  std::printf(
+      "\nThe pretrained reconstruction head recovers masked structure the "
+      "naive fills cannot.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: PEMS-SF-style traffic sensing — 963 loop-detector channels, one
+// reading per sensor. This is the regime the paper's intro motivates:
+// univariate foundation models must run 963 times per sample, so both memory
+// and time explode. The example sweeps the target dimension D' and shows the
+// accuracy/cost trade-off of the PCA adapter, plus the explained variance
+// retained at each D'.
+//
+// Build & run:  ./build/examples/traffic_pems
+
+#include <cstdio>
+
+#include "core/pca_adapter.h"
+#include "data/uea_like.h"
+#include "finetune/finetune.h"
+#include "models/pretrained.h"
+#include "resources/cost_model.h"
+
+int main() {
+  using namespace tsfm;
+
+  auto spec = data::FindUeaSpec("PEMS-SF");
+  std::printf("PEMS-SF: %lld sensor channels, %lld classes\n",
+              static_cast<long long>(spec->channels),
+              static_cast<long long>(spec->classes));
+
+  // Paper-scale reality check: per-channel inference cost scales linearly in
+  // D, so embedding all 963 channels is ~200x the cost of 5.
+  const resources::PaperModelSpec vit = resources::VitPaperSpec();
+  const resources::GpuSpec v100 = resources::V100Spec();
+  for (int64_t channels : {963ll, 5ll}) {
+    resources::Workload w{spec->train_size, spec->test_size, channels};
+    auto est = resources::EstimateRun(
+        vit, v100, w, resources::TrainRegime::kEmbedOnceHeadOnly);
+    std::printf("  embed-once with D=%4lld channels: %7.0f simulated s (%s)\n",
+                static_cast<long long>(channels), est.total_seconds,
+                resources::VerdictString(est.verdict));
+  }
+
+  models::PretrainOptions pretrain;
+  auto model = models::LoadOrPretrain(models::ModelKind::kVit,
+                                      models::VitSmallConfig(), pretrain,
+                                      "checkpoints/quickstart_vit.ckpt");
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  // Generate a (capped) PEMS-like dataset. The generator keeps the paper's
+  // key property: hundreds of sensors driven by a handful of latent traffic
+  // patterns.
+  data::DatasetPair traffic = data::GenerateUeaLike(*spec, /*seed=*/2);
+  std::printf("Realized dataset: %lld channels (capped for CPU training)\n",
+              static_cast<long long>(traffic.train.channels()));
+
+  std::printf("\n  D'   explained-variance   test-accuracy   seconds\n");
+  for (int64_t dprime : {2ll, 5ll, 10ll, 20ll}) {
+    core::AdapterOptions options;
+    options.out_channels = dprime;
+    core::PcaAdapter pca(options);
+    finetune::FineTuneOptions ft;
+    ft.strategy = finetune::Strategy::kAdapterPlusHead;
+    auto result = finetune::FineTune(model->get(), &pca, traffic.train,
+                                     traffic.test, ft);
+    if (!result.ok()) {
+      std::fprintf(stderr, "D'=%lld: %s\n", static_cast<long long>(dprime),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %2lld        %5.1f%%             %.3f         %.2f\n",
+                static_cast<long long>(dprime),
+                100.0 * pca.explained_variance_ratio(), result->test_accuracy,
+                result->total_seconds);
+  }
+  std::printf(
+      "\nA handful of principal channels carries nearly all the variance of "
+      "963 correlated sensors — the redundancy the adapter exploits.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/bin/bash
+# Runs every table/figure bench plus the micro-benchmarks, teeing a combined
+# transcript. TSFM_BENCH_FAST=1 uses the CI-scale grid (2 seeds, capped data).
+set -u
+export TSFM_BENCH_FAST=${TSFM_BENCH_FAST:-1}
+export TSFM_BENCH_OUT=${TSFM_BENCH_OUT:-bench_results}
+mkdir -p "$TSFM_BENCH_OUT"
+BINS="bench_table3_datasets bench_table2_adapters bench_table1_full_ft \
+      bench_table4_5_pca_sensitivity bench_fig1_runtime bench_fig2_patch_pca \
+      bench_fig3_lcomb_topk bench_fig4_ranks bench_fig5_pvalues \
+      bench_fig6_full_vs_adapter bench_ablation_dprime"
+for b in $BINS; do
+  echo "================================================================"
+  echo "== $b"
+  echo "================================================================"
+  ./build/bench/$b 2>/dev/null
+done
+for b in bench_micro_kernels bench_micro_adapters bench_micro_encoder; do
+  echo "================================================================"
+  echo "== $b"
+  echo "================================================================"
+  ./build/bench/$b --benchmark_min_time=0.05 2>/dev/null
+done

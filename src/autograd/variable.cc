@@ -1,0 +1,133 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace tsfm::ag {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+namespace internal {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  TSFM_CHECK(g.shape() == value.shape())
+      << "gradient shape " << ShapeToString(g.shape()) << " vs value "
+      << ShapeToString(value.shape()) << " in op " << op_name;
+  if (!has_grad) {
+    grad = g.Clone();
+    has_grad = true;
+  } else {
+    float* pg = grad.mutable_data();
+    const float* ps = g.data();
+    const int64_t n = grad.numel();
+    for (int64_t i = 0; i < n; ++i) pg[i] += ps[i];
+  }
+}
+
+Var MakeNode(Tensor value, std::vector<Var> inputs,
+             std::function<void(Node*)> backward_fn, std::string op_name) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op_name = std::move(op_name);
+  bool any_grad = false;
+  for (const Var& v : inputs) {
+    TSFM_CHECK(v.defined()) << "undefined input to " << node->op_name;
+    if (v.requires_grad()) any_grad = true;
+  }
+  if (!GradEnabled()) any_grad = false;
+  if (any_grad) {
+    node->requires_grad = true;
+    node->backward_fn = std::move(backward_fn);
+    node->inputs.reserve(inputs.size());
+    for (const Var& v : inputs) node->inputs.push_back(v.node());
+  }
+  return Var(std::move(node));
+}
+
+}  // namespace internal
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->op_name = "leaf";
+}
+
+const Tensor& Var::value() const {
+  TSFM_CHECK(defined());
+  return node_->value;
+}
+
+Tensor Var::grad() const {
+  TSFM_CHECK(defined());
+  if (!node_->has_grad) return Tensor::Zeros(node_->value.shape());
+  return node_->grad;
+}
+
+bool Var::requires_grad() const {
+  TSFM_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Var::ZeroGrad() {
+  TSFM_CHECK(defined());
+  node_->has_grad = false;
+  node_->grad = Tensor();
+}
+
+void Var::SetValue(const Tensor& v) {
+  TSFM_CHECK(defined());
+  TSFM_CHECK(v.shape() == node_->value.shape());
+  node_->value = v.Clone();
+}
+
+Var Var::Detach() const {
+  TSFM_CHECK(defined());
+  return Var(node_->value, /*requires_grad=*/false);
+}
+
+void Var::Backward() {
+  TSFM_CHECK(defined());
+  TSFM_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() requires a scalar output";
+  // Topological order via iterative post-order DFS.
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  std::vector<std::pair<internal::Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->inputs.size()) {
+      internal::Node* child = n->inputs[idx].get();
+      ++idx;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  node_->AccumulateGrad(Tensor::Full(node_->value.shape(), 1.0f));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* n = *it;
+    if (n->backward_fn && n->has_grad) n->backward_fn(n);
+  }
+}
+
+}  // namespace tsfm::ag

@@ -1,0 +1,160 @@
+#include "baselines/rocket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "linalg/linalg.h"
+#include "optim/optim.h"
+#include "tensor/ops.h"
+
+namespace tsfm::baselines {
+
+RocketClassifier::RocketClassifier(const RocketConfig& config)
+    : config_(config) {}
+
+Status RocketClassifier::Fit(const data::TimeSeriesDataset& train) {
+  TSFM_RETURN_IF_ERROR(data::Validate(train));
+  if (config_.num_kernels <= 0) {
+    return Status::InvalidArgument("num_kernels must be positive");
+  }
+  const int64_t t_len = train.length();
+  if (t_len < 7) {
+    return Status::InvalidArgument("ROCKET needs series of length >= 7");
+  }
+  channels_ = train.channels();
+  num_classes_ = train.num_classes;
+
+  // Sample kernels.
+  Rng rng(config_.seed);
+  kernels_.clear();
+  kernels_.reserve(static_cast<size_t>(config_.num_kernels));
+  const int64_t kLengths[] = {7, 9, 11};
+  for (int64_t k = 0; k < config_.num_kernels; ++k) {
+    Kernel kernel;
+    const int64_t len = kLengths[rng.UniformInt(3)];
+    kernel.weights.resize(static_cast<size_t>(len));
+    double mean = 0.0;
+    for (auto& w : kernel.weights) {
+      w = static_cast<float>(rng.Normal());
+      mean += w;
+    }
+    mean /= static_cast<double>(len);
+    for (auto& w : kernel.weights) w -= static_cast<float>(mean);
+    kernel.bias = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    // Dilation: 2^U(0, log2((T-1)/(len-1))).
+    const double max_exp =
+        std::log2(static_cast<double>(t_len - 1) / static_cast<double>(len - 1));
+    kernel.dilation = static_cast<int64_t>(
+        std::pow(2.0, rng.Uniform(0.0, std::max(0.0, max_exp))));
+    kernel.padding = rng.Uniform() < 0.5;
+    kernel.channel = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(channels_)));
+    kernels_.push_back(std::move(kernel));
+  }
+  fitted_ = true;  // features can be extracted from here on
+
+  // Features + standardization.
+  TSFM_ASSIGN_OR_RETURN(Tensor features, ExtractFeatures(train.x));
+  feature_mean_ = Mean(features, 0);
+  feature_std_ = ColumnStds(features.Reshape({features.dim(0), -1}));
+  Tensor standardized = Div(Sub(features, feature_mean_), feature_std_);
+
+  // Linear softmax classifier via AdamW.
+  const int64_t feat = features.dim(1);
+  Rng init_rng = rng.Fork();
+  ag::Var w(Tensor::RandN(Shape{feat, num_classes_}, &init_rng,
+                          1.0f / std::sqrt(static_cast<float>(feat))),
+            /*requires_grad=*/true);
+  ag::Var b(Tensor::Zeros(Shape{num_classes_}), /*requires_grad=*/true);
+  optim::AdamW opt({w, b}, config_.lr, 0.9f, 0.999f, 1e-8f,
+                   config_.weight_decay);
+  Rng batch_rng = rng.Fork();
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches = data::MakeBatches(standardized.dim(0), config_.batch_size,
+                                     &batch_rng);
+    for (const auto& idx : batches) {
+      Tensor xb = TakeRows(standardized, idx);
+      std::vector<int64_t> yb;
+      yb.reserve(idx.size());
+      for (int64_t i : idx) yb.push_back(train.y[static_cast<size_t>(i)]);
+      ag::Var logits = ag::Add(ag::MatMul(ag::Constant(xb), w), b);
+      ag::Var loss = ag::CrossEntropy(logits, yb);
+      loss.Backward();
+      opt.Step();
+      opt.ZeroGrad();
+    }
+  }
+  classifier_w_ = w.value().Clone();
+  classifier_b_ = b.value().Clone();
+  return Status::OK();
+}
+
+Result<Tensor> RocketClassifier::ExtractFeatures(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("ROCKET not fitted");
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("ROCKET input must be (N, T, D)");
+  }
+  if (x.dim(2) != channels_) {
+    return Status::InvalidArgument("channel count changed since Fit");
+  }
+  const int64_t n = x.dim(0);
+  const int64_t t_len = x.dim(1);
+  const int64_t d = x.dim(2);
+  const int64_t k = static_cast<int64_t>(kernels_.size());
+  Tensor features(Shape{n, 2 * k});
+  const float* px = x.data();
+  float* pf = features.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* sample = px + i * t_len * d;
+    for (int64_t j = 0; j < k; ++j) {
+      const Kernel& kernel = kernels_[static_cast<size_t>(j)];
+      const int64_t len = static_cast<int64_t>(kernel.weights.size());
+      const int64_t span = (len - 1) * kernel.dilation;
+      const int64_t pad = kernel.padding ? span / 2 : 0;
+      const int64_t out_len = t_len + 2 * pad - span;
+      int64_t positives = 0;
+      float max_val = -std::numeric_limits<float>::infinity();
+      for (int64_t start = -pad; start < -pad + std::max<int64_t>(out_len, 0);
+           ++start) {
+        float acc = kernel.bias;
+        for (int64_t w = 0; w < len; ++w) {
+          const int64_t pos = start + w * kernel.dilation;
+          if (pos < 0 || pos >= t_len) continue;  // zero padding
+          acc += kernel.weights[static_cast<size_t>(w)] *
+                 sample[pos * d + kernel.channel];
+        }
+        if (acc > 0.0f) ++positives;
+        max_val = std::max(max_val, acc);
+      }
+      const float ppv =
+          out_len > 0 ? static_cast<float>(positives) /
+                            static_cast<float>(out_len)
+                      : 0.0f;
+      pf[i * 2 * k + 2 * j] = ppv;
+      pf[i * 2 * k + 2 * j + 1] =
+          std::isfinite(max_val) ? max_val : 0.0f;
+    }
+  }
+  return features;
+}
+
+Result<std::vector<int64_t>> RocketClassifier::Predict(
+    const data::TimeSeriesDataset& ds) const {
+  if (classifier_w_.numel() == 0) {
+    return Status::FailedPrecondition("ROCKET classifier not trained");
+  }
+  TSFM_ASSIGN_OR_RETURN(Tensor features, ExtractFeatures(ds.x));
+  Tensor standardized = Div(Sub(features, feature_mean_), feature_std_);
+  Tensor logits = Add(MatMul(standardized, classifier_w_), classifier_b_);
+  return ArgMaxLast(logits);
+}
+
+Result<double> RocketClassifier::Evaluate(
+    const data::TimeSeriesDataset& ds) const {
+  TSFM_ASSIGN_OR_RETURN(std::vector<int64_t> preds, Predict(ds));
+  return data::Accuracy(preds, ds);
+}
+
+}  // namespace tsfm::baselines

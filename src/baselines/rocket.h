@@ -1,0 +1,80 @@
+#ifndef TSFM_BASELINES_ROCKET_H_
+#define TSFM_BASELINES_ROCKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace tsfm::baselines {
+
+/// Configuration of the ROCKET baseline.
+struct RocketConfig {
+  /// Number of random convolution kernels (each yields 2 features: PPV and
+  /// max). The original paper uses 10,000; a few hundred suffice for the
+  /// synthetic workloads here.
+  int64_t num_kernels = 300;
+  /// Training epochs for the linear classifier on ROCKET features.
+  int64_t epochs = 60;
+  int64_t batch_size = 64;
+  float lr = 5e-2f;
+  float weight_decay = 1e-4f;
+  uint64_t seed = 1;
+};
+
+/// ROCKET (Dempster et al., 2020): time-series classification via random
+/// 1-D convolution kernels. This is the classical non-foundation-model
+/// comparator the paper's related-work section positions TSFMs against.
+///
+/// Each kernel has random length in {7, 9, 11}, N(0,1) mean-centered
+/// weights, a uniform bias, a random dilation, optional padding, and (for
+/// multivariate inputs) a random channel it convolves — so, like univariate
+/// TSFMs, its per-kernel cost is independent of D but coverage of D needs
+/// many kernels. Features are PPV (proportion of positive values) and max
+/// per kernel; a linear softmax classifier is trained on the standardized
+/// features.
+class RocketClassifier {
+ public:
+  explicit RocketClassifier(const RocketConfig& config = RocketConfig());
+
+  /// Samples kernels for the training channel count, extracts features and
+  /// trains the linear classifier.
+  Status Fit(const data::TimeSeriesDataset& train);
+
+  /// Predicts labels for `ds` (must match training channels/length regime).
+  Result<std::vector<int64_t>> Predict(const data::TimeSeriesDataset& ds) const;
+
+  /// Accuracy on `ds`.
+  Result<double> Evaluate(const data::TimeSeriesDataset& ds) const;
+
+  /// The (N, 2 * num_kernels) ROCKET feature matrix for `x` (N, T, D).
+  /// Requires Fit (kernels are sampled at fit time).
+  Result<Tensor> ExtractFeatures(const Tensor& x) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct Kernel {
+    std::vector<float> weights;
+    float bias;
+    int64_t dilation;
+    bool padding;
+    int64_t channel;
+  };
+
+  RocketConfig config_;
+  bool fitted_ = false;
+  int64_t channels_ = 0;
+  int64_t num_classes_ = 0;
+  std::vector<Kernel> kernels_;
+  Tensor feature_mean_;  // (2K)
+  Tensor feature_std_;   // (2K)
+  Tensor classifier_w_;  // (2K, C)
+  Tensor classifier_b_;  // (C)
+};
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_ROCKET_H_

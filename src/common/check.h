@@ -1,0 +1,58 @@
+#ifndef TSFM_COMMON_CHECK_H_
+#define TSFM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tsfm::internal {
+
+/// Prints a fatal-check failure message and aborts. Used by TSFM_CHECK; not
+/// part of the public API.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-collecting helper so `TSFM_CHECK(x) << "context"` works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tsfm::internal
+
+/// Fail-fast invariant check for internal logic errors (not for user input —
+/// user-facing validation returns Status). Active in all build types.
+#define TSFM_CHECK(cond)                                                 \
+  if (cond) {                                                            \
+  } else /* NOLINT */                                                    \
+    ::tsfm::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define TSFM_CHECK_EQ(a, b) TSFM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_NE(a, b) TSFM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_LT(a, b) TSFM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_LE(a, b) TSFM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_GT(a, b) TSFM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_GE(a, b) TSFM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // TSFM_COMMON_CHECK_H_

@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tsfm {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa => uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  TSFM_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v = NextUint64();
+  while (v >= limit) v = NextUint64();
+  return v % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+void Rng::FillNormal(float* out, size_t n, float stddev) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(Normal() * stddev);
+  }
+}
+
+void Rng::FillUniform(float* out, size_t n, float lo, float hi) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(Uniform(lo, hi));
+  }
+}
+
+void Rng::Shuffle(std::vector<int64_t>* indices) {
+  auto& v = *indices;
+  for (size_t i = v.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(UniformInt(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace tsfm

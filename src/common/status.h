@@ -1,0 +1,145 @@
+#ifndef TSFM_COMMON_STATUS_H_
+#define TSFM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tsfm {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow idiom:
+/// fallible public operations return a `Status` (or `Result<T>`) instead of
+/// throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kIoError,
+  kNumericalError,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object carrying an error code and message.
+///
+/// A default-constructed `Status` is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case, which is the common path).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Inspired by
+/// `arrow::Result`.
+///
+/// Callers must check `ok()` before dereferencing; accessing the value of an
+/// errored result aborts the process (fail-fast, see TSFM_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: enables `return value;` from
+  /// functions declared to return `Result<T>`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define TSFM_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::tsfm::Status _tsfm_status = (expr);           \
+    if (!_tsfm_status.ok()) return _tsfm_status;    \
+  } while (false)
+
+#define TSFM_STATUS_CONCAT_IMPL(a, b) a##b
+#define TSFM_STATUS_CONCAT(a, b) TSFM_STATUS_CONCAT_IMPL(a, b)
+#define TSFM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, propagating errors.
+#define TSFM_ASSIGN_OR_RETURN(lhs, rexpr)  \
+  TSFM_ASSIGN_OR_RETURN_IMPL(              \
+      TSFM_STATUS_CONCAT(_tsfm_result_, __LINE__), lhs, rexpr)
+
+}  // namespace tsfm
+
+#endif  // TSFM_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+#include "core/io_util.h"
+
+namespace tsfm::core::io {
+
+void WriteU64(std::ostream* os, uint64_t v) {
+  os->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+Status ReadU64(std::istream* is, uint64_t* v) {
+  is->read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!*is) return Status::IoError("truncated adapter file (u64)");
+  return Status::OK();
+}
+
+void WriteF32(std::ostream* os, float v) {
+  os->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+Status ReadF32(std::istream* is, float* v) {
+  is->read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!*is) return Status::IoError("truncated adapter file (f32)");
+  return Status::OK();
+}
+
+void WriteTensor(std::ostream* os, const Tensor& t) {
+  WriteU64(os, static_cast<uint64_t>(t.ndim()));
+  for (int64_t d : t.shape()) WriteU64(os, static_cast<uint64_t>(d));
+  os->write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Status ReadTensor(std::istream* is, Tensor* t) {
+  uint64_t ndim = 0;
+  TSFM_RETURN_IF_ERROR(ReadU64(is, &ndim));
+  if (ndim > 8) return Status::IoError("implausible tensor rank in file");
+  Shape shape(ndim);
+  for (uint64_t i = 0; i < ndim; ++i) {
+    uint64_t d = 0;
+    TSFM_RETURN_IF_ERROR(ReadU64(is, &d));
+    shape[i] = static_cast<int64_t>(d);
+  }
+  Tensor out(shape);
+  is->read(reinterpret_cast<char*>(out.mutable_data()),
+           static_cast<std::streamsize>(out.numel() * sizeof(float)));
+  if (!*is) return Status::IoError("truncated adapter file (tensor data)");
+  *t = std::move(out);
+  return Status::OK();
+}
+
+void WriteInt64Vector(std::ostream* os, const std::vector<int64_t>& v) {
+  WriteU64(os, v.size());
+  for (int64_t x : v) WriteU64(os, static_cast<uint64_t>(x));
+}
+
+Status ReadInt64Vector(std::istream* is, std::vector<int64_t>* v) {
+  uint64_t n = 0;
+  TSFM_RETURN_IF_ERROR(ReadU64(is, &n));
+  v->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t x = 0;
+    TSFM_RETURN_IF_ERROR(ReadU64(is, &x));
+    (*v)[i] = static_cast<int64_t>(x);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsfm::core::io

@@ -1,0 +1,31 @@
+#ifndef TSFM_CORE_IO_UTIL_H_
+#define TSFM_CORE_IO_UTIL_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tsfm::core::io {
+
+// Binary (de)serialization helpers shared by the adapter save/load code.
+// Little-endian, fixed-width; not a public API.
+
+void WriteU64(std::ostream* os, uint64_t v);
+Status ReadU64(std::istream* is, uint64_t* v);
+
+void WriteF32(std::ostream* os, float v);
+Status ReadF32(std::istream* is, float* v);
+
+void WriteTensor(std::ostream* os, const Tensor& t);
+Status ReadTensor(std::istream* is, Tensor* t);
+
+void WriteInt64Vector(std::ostream* os, const std::vector<int64_t>& v);
+Status ReadInt64Vector(std::istream* is, std::vector<int64_t>* v);
+
+}  // namespace tsfm::core::io
+
+#endif  // TSFM_CORE_IO_UTIL_H_

@@ -1,0 +1,126 @@
+#include "core/lcomb_adapter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "common/check.h"
+#include "core/io_util.h"
+#include "tensor/ops.h"
+
+namespace tsfm::core {
+
+LinearCombinerAdapter::LinearCombinerAdapter(const AdapterOptions& options,
+                                             bool use_top_k)
+    : out_channels_(options.out_channels),
+      use_top_k_(use_top_k),
+      top_k_(options.top_k),
+      seed_(options.seed) {}
+
+Status LinearCombinerAdapter::Fit(const Tensor& x,
+                                  const std::vector<int64_t>& y) {
+  (void)y;
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("adapter input must be (N, T, D)");
+  }
+  const int64_t d = x.dim(2);
+  if (out_channels_ <= 0 || out_channels_ > d) {
+    return Status::InvalidArgument("lcomb out_channels out of range");
+  }
+  if (use_top_k_ && (top_k_ <= 0 || top_k_ > d)) {
+    return Status::InvalidArgument("lcomb top_k out of range");
+  }
+  in_channels_ = d;
+  Rng rng(seed_);
+  // Small random init scaled like an average over channels so initial
+  // outputs are O(1) regardless of D.
+  Tensor w = Tensor::RandN(Shape{out_channels_, d}, &rng,
+                           1.0f / std::sqrt(static_cast<float>(d)));
+  weight_ = ag::Var(std::move(w), /*requires_grad=*/true);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor LinearCombinerAdapter::CurrentTopKMask() const {
+  const Tensor& w = weight_.value();
+  Tensor mask = Tensor::Zeros(w.shape());
+  const int64_t d = in_channels_;
+  std::vector<int64_t> order(static_cast<size_t>(d));
+  for (int64_t r = 0; r < out_channels_; ++r) {
+    const float* row = w.data() + r * d;
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + top_k_, order.end(),
+                      [row](int64_t a, int64_t b) {
+                        return std::fabs(row[a]) > std::fabs(row[b]);
+                      });
+    float* mrow = mask.mutable_data() + r * d;
+    for (int64_t j = 0; j < top_k_; ++j) {
+      mrow[order[static_cast<size_t>(j)]] = 1.0f;
+    }
+  }
+  return mask;
+}
+
+ag::Var LinearCombinerAdapter::TransformVar(const ag::Var& x) const {
+  TSFM_CHECK(fitted_) << "lcomb adapter not fitted";
+  TSFM_CHECK_EQ(x.ndim(), 3);
+  TSFM_CHECK_EQ(x.dim(2), in_channels_);
+
+  ag::Var w_eff = weight_;
+  if (use_top_k_) {
+    // Keep top-k magnitudes per row; rescale each row by the sum of kept
+    // magnitudes (selection mask is constant w.r.t. gradients).
+    ag::Var masked = ag::Mul(weight_, ag::Constant(CurrentTopKMask()));
+    // |w| computed as sqrt(w^2 + eps) to stay differentiable; the masked-out
+    // zeros contribute only sqrt(eps) each, which is negligible.
+    ag::Var magnitudes = ag::Sqrt(ag::AddScalar(ag::Square(masked), 1e-12f));
+    ag::Var denom = ag::AddScalar(
+        ag::SumAxis(magnitudes, 1, /*keepdim=*/true), 1e-6f);
+    w_eff = ag::Div(masked, denom);
+  }
+  // (N, T, D) @ (D, D') -> (N, T, D')
+  return ag::MatMul(x, ag::TransposeLast2(w_eff));
+}
+
+Result<Tensor> LinearCombinerAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  if (x.ndim() != 3 || x.dim(2) != in_channels_) {
+    return Status::InvalidArgument("bad input shape for lcomb Transform");
+  }
+  return TransformVar(ag::Constant(x)).value();
+}
+
+std::vector<ag::Var> LinearCombinerAdapter::TrainableParameters() const {
+  if (!fitted_) return {};
+  return {weight_};
+}
+
+AdapterKind LinearCombinerAdapter::kind() const {
+  return use_top_k_ ? AdapterKind::kLcombTopK : AdapterKind::kLcomb;
+}
+
+Status LinearCombinerAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(in_channels_));
+  io::WriteTensor(os, weight_.value());
+  return Status::OK();
+}
+
+Status LinearCombinerAdapter::LoadState(std::istream* is) {
+  uint64_t in_channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &in_channels));
+  in_channels_ = static_cast<int64_t>(in_channels);
+  Tensor w;
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &w));
+  if (w.ndim() != 2 || w.dim(0) != out_channels_ ||
+      w.dim(1) != in_channels_) {
+    return Status::InvalidArgument("lcomb adapter file/config mismatch");
+  }
+  weight_ = ag::Var(std::move(w), /*requires_grad=*/true);
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace tsfm::core

@@ -1,0 +1,68 @@
+#ifndef TSFM_CORE_LCOMB_ADAPTER_H_
+#define TSFM_CORE_LCOMB_ADAPTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adapter.h"
+
+namespace tsfm::core {
+
+/// Linear Combiner (lcomb) adapter: a *learnable* rotation W (D', D) that
+/// linearly recombines the original channels, trained in a supervised manner
+/// jointly with the classification head (and optionally the full network)
+/// through the foundation model.
+///
+/// With `use_top_k` (lcomb_top_k, Appendix C.2) a top-k rule regularizes each
+/// row of W at every application: only the k entries of largest magnitude are
+/// kept, and the row is rescaled by the sum of the magnitudes of the kept
+/// entries so the combination stays well-scaled. Gradients flow through the
+/// kept entries (the selection mask is treated as constant, straight-through).
+class LinearCombinerAdapter : public Adapter {
+ public:
+  LinearCombinerAdapter(const AdapterOptions& options, bool use_top_k);
+
+  std::string name() const override {
+    return use_top_k_ ? "lcomb_top_k" : "lcomb";
+  }
+  int64_t output_channels() const override { return out_channels_; }
+  bool fitted() const override { return fitted_; }
+
+  /// Initializes W with small random values (supervised training happens in
+  /// the fine-tuning loop, not here).
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+
+  /// Applies the *current* W without gradient tracking.
+  Result<Tensor> Transform(const Tensor& x) const override;
+
+  /// Differentiable application of W (with the top-k rule if enabled).
+  ag::Var TransformVar(const ag::Var& x) const override;
+
+  std::vector<ag::Var> TrainableParameters() const override;
+  bool IsLearnable() const override { return true; }
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+
+  /// The raw (pre-top-k) weight matrix, shape (D', D).
+  const ag::Var& weight() const { return weight_; }
+  int64_t top_k() const { return top_k_; }
+
+ private:
+  /// Builds the constant 0/1 mask selecting the top-k magnitudes per row of
+  /// the current weight value.
+  Tensor CurrentTopKMask() const;
+
+  int64_t out_channels_;
+  bool use_top_k_;
+  int64_t top_k_;
+  uint64_t seed_;
+  bool fitted_ = false;
+  int64_t in_channels_ = 0;
+  ag::Var weight_;  // (D', D)
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_LCOMB_ADAPTER_H_

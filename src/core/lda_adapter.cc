@@ -1,0 +1,160 @@
+#include "core/lda_adapter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "core/io_util.h"
+#include "linalg/linalg.h"
+#include "tensor/ops.h"
+
+namespace tsfm::core {
+
+LdaAdapter::LdaAdapter(const AdapterOptions& options)
+    : out_channels_(options.out_channels), regularization_(1e-3f) {}
+
+AdapterKind LdaAdapter::kind() const { return AdapterKind::kLda; }
+
+Status LdaAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("adapter input must be (N, T, D)");
+  }
+  const int64_t n = x.dim(0);
+  const int64_t t = x.dim(1);
+  const int64_t d = x.dim(2);
+  if (static_cast<int64_t>(y.size()) != n) {
+    return Status::InvalidArgument("LDA needs one label per sample");
+  }
+  if (out_channels_ <= 0 || out_channels_ > d) {
+    return Status::InvalidArgument("LDA out_channels out of range");
+  }
+  if (d > 512) {
+    return Status::InvalidArgument(
+        "LDA adapter supports up to 512 channels (full eigendecomposition); "
+        "reduce with PCA first");
+  }
+  int64_t num_classes = 0;
+  for (int64_t label : y) {
+    if (label < 0) return Status::InvalidArgument("negative label");
+    num_classes = std::max(num_classes, label + 1);
+  }
+  in_channels_ = d;
+
+  // Per-time-step rows labeled by their sample's class.
+  Tensor rows = x.Reshape(Shape{n * t, d});
+  mean_ = Mean(rows, 0);
+
+  // Class means and counts.
+  Tensor class_means = Tensor::Zeros(Shape{num_classes, d});
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+  const float* pr = rows.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = y[static_cast<size_t>(i)];
+    counts[static_cast<size_t>(c)] += t;
+    float* cm = class_means.mutable_data() + c * d;
+    for (int64_t s = 0; s < t; ++s) {
+      const float* row = pr + (i * t + s) * d;
+      for (int64_t j = 0; j < d; ++j) cm[j] += row[j];
+    }
+  }
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+    float* cm = class_means.mutable_data() + c * d;
+    for (int64_t j = 0; j < d; ++j) cm[j] *= inv;
+  }
+
+  // Within-class scatter Sw and between-class scatter Sb (both / total).
+  const int64_t total = n * t;
+  Tensor sw = Tensor::Zeros(Shape{d, d});
+  {
+    // Sw = (1/total) sum_i (x_i - mu_{c(i)}) (x_i - mu_{c(i)})^T computed as
+    // centered-rows Gram.
+    Tensor centered(Shape{n * t, d});
+    float* pc = centered.mutable_data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float* cm =
+          class_means.data() + y[static_cast<size_t>(i)] * d;
+      for (int64_t s = 0; s < t; ++s) {
+        const float* row = pr + (i * t + s) * d;
+        float* dst = pc + (i * t + s) * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] = row[j] - cm[j];
+      }
+    }
+    sw = Scale(MatMul(TransposeLast2(centered), centered),
+               1.0f / static_cast<float>(total));
+  }
+  Tensor sb = Tensor::Zeros(Shape{d, d});
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    const float weight = static_cast<float>(counts[static_cast<size_t>(c)]) /
+                         static_cast<float>(total);
+    const float* cm = class_means.data() + c * d;
+    for (int64_t i = 0; i < d; ++i) {
+      const float di = cm[i] - mean_[i];
+      float* row = sb.mutable_data() + i * d;
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] += weight * di * (cm[j] - mean_[j]);
+      }
+    }
+  }
+
+  // Regularized whitening of Sw.
+  const float trace_scale =
+      std::max(1e-12f, SumAll(Mul(sw, Tensor::Eye(d))) / static_cast<float>(d));
+  Tensor sw_reg = Add(sw, Scale(Tensor::Eye(d), regularization_ * trace_scale));
+  TSFM_ASSIGN_OR_RETURN(EigenResult sw_eig, SymmetricEigen(sw_reg));
+  Tensor whiten(Shape{d, d});  // U * Lambda^{-1/2}
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      const float lambda = std::max(sw_eig.eigenvalues[j], 1e-10f);
+      whiten.at({i, j}) =
+          sw_eig.eigenvectors.at({i, j}) / std::sqrt(lambda);
+    }
+  }
+
+  // Top directions of the whitened between-class scatter. Beyond rank(Sb)
+  // (= classes - 1) eigenvalues are ~0 and the eigenvectors fill the space
+  // orthogonally, giving a well-defined D'-dimensional projection.
+  Tensor m = MatMul(TransposeLast2(whiten), MatMul(sb, whiten));
+  TSFM_ASSIGN_OR_RETURN(EigenResult m_eig, TopKEigen(m, out_channels_));
+  components_ = MatMul(whiten, m_eig.eigenvectors);  // (d, D')
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Tensor> LdaAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("LDA adapter not fitted");
+  if (x.ndim() != 3 || x.dim(2) != in_channels_) {
+    return Status::InvalidArgument("bad input shape for LDA Transform");
+  }
+  const int64_t n = x.dim(0);
+  const int64_t t = x.dim(1);
+  Tensor rows = x.Reshape(Shape{n * t, in_channels_});
+  Tensor projected = MatMul(Sub(rows, mean_), components_);
+  return projected.Reshape(Shape{n, t, out_channels_});
+}
+
+Status LdaAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(in_channels_));
+  io::WriteTensor(os, mean_);
+  io::WriteTensor(os, components_);
+  return Status::OK();
+}
+
+Status LdaAdapter::LoadState(std::istream* is) {
+  uint64_t in_channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &in_channels));
+  in_channels_ = static_cast<int64_t>(in_channels);
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &mean_));
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &components_));
+  if (components_.ndim() != 2 || components_.dim(1) != out_channels_) {
+    return Status::InvalidArgument("LDA adapter file/config mismatch");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace tsfm::core

@@ -1,0 +1,50 @@
+#ifndef TSFM_CORE_LDA_ADAPTER_H_
+#define TSFM_CORE_LDA_ADAPTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adapter.h"
+
+namespace tsfm::core {
+
+/// Supervised channel-reduction adapter based on Fisher's linear
+/// discriminant (an *extension* beyond the paper's unsupervised adapters —
+/// the conclusion calls for "more complex adapter configurations", and LDA
+/// is the natural label-aware counterpart of PCA).
+///
+/// Per-time-step channel vectors are grouped by their sample's class; the
+/// adapter maximizes between-class over within-class scatter by solving the
+/// generalized eigenproblem Sw^-1 Sb via the regularized whitening route:
+/// eigendecompose Sw + eps*I, whiten, then take the top-D' eigenvectors of
+/// the whitened between-class scatter. Falls back cleanly when D' exceeds
+/// C - 1 (the rank of Sb): remaining directions come from the whitened
+/// total-scatter PCA, so the output always has exactly D' channels.
+class LdaAdapter : public Adapter {
+ public:
+  explicit LdaAdapter(const AdapterOptions& options);
+
+  std::string name() const override { return "LDA"; }
+  int64_t output_channels() const override { return out_channels_; }
+  bool fitted() const override { return fitted_; }
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+  Result<Tensor> Transform(const Tensor& x) const override;
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+  /// The learned projection (D, D').
+  const Tensor& components() const { return components_; }
+
+ private:
+  int64_t out_channels_;
+  float regularization_;
+  bool fitted_ = false;
+  int64_t in_channels_ = 0;
+  Tensor mean_;        // (D)
+  Tensor components_;  // (D, D')
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_LDA_ADAPTER_H_

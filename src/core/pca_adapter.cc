@@ -1,0 +1,129 @@
+#include "core/pca_adapter.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "core/io_util.h"
+#include "linalg/linalg.h"
+#include "tensor/ops.h"
+
+namespace tsfm::core {
+
+namespace {
+
+// Reshapes (N, T, D) into the PCA design matrix.
+// pws == 1: (N*T, D). pws > 1: (N*n_p, pws*D) with n_p = T / pws (the time
+// tail not filling a full window is dropped).
+Result<Tensor> ToDesignMatrix(const Tensor& x, int64_t pws) {
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("adapter input must be (N, T, D), got " +
+                                   ShapeToString(x.shape()));
+  }
+  const int64_t n = x.dim(0);
+  const int64_t t = x.dim(1);
+  const int64_t d = x.dim(2);
+  if (pws <= 1) return x.Reshape(Shape{n * t, d});
+  if (t < pws) {
+    return Status::InvalidArgument(
+        "patch window larger than series length");
+  }
+  const int64_t np = t / pws;
+  Tensor trimmed = t % pws == 0 ? x : Slice(x, 1, 0, np * pws);
+  // (N, n_p, pws, D) -> rows of pws*D values.
+  return trimmed.Reshape(Shape{n * np, pws * d});
+}
+
+}  // namespace
+
+PcaAdapter::PcaAdapter(const AdapterOptions& options)
+    : out_channels_(options.out_channels),
+      scale_(options.pca_scale),
+      patch_window_(std::max<int64_t>(1, options.pca_patch_window)) {}
+
+std::string PcaAdapter::name() const {
+  if (patch_window_ > 1) return "PatchPCA_" + std::to_string(patch_window_);
+  return scale_ ? "ScaledPCA" : "PCA";
+}
+
+Status PcaAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  (void)y;  // unsupervised
+  TSFM_ASSIGN_OR_RETURN(Tensor design, ToDesignMatrix(x, patch_window_));
+  const int64_t in_dim = design.dim(1);
+  if (out_channels_ <= 0 || out_channels_ > in_dim) {
+    return Status::InvalidArgument(
+        "PCA out_channels must be in [1, " + std::to_string(in_dim) + "]");
+  }
+  in_channels_ = x.dim(2);
+  mean_ = Mean(design, 0);
+  if (scale_) {
+    std_ = ColumnStds(design);
+  } else {
+    std_ = Tensor::Ones(Shape{in_dim});
+  }
+  Tensor centered = Div(Sub(design, mean_), std_);
+  Tensor cov = Scale(MatMul(TransposeLast2(centered), centered),
+                     1.0f / static_cast<float>(design.dim(0)));
+  TSFM_ASSIGN_OR_RETURN(EigenResult eig, TopKEigen(cov, out_channels_));
+  components_ = eig.eigenvectors;  // (in_dim, D')
+
+  // Explained variance: sum of retained eigenvalues over total variance
+  // (the trace of the covariance), computable without a full decomposition.
+  double total = 0.0;
+  for (int64_t i = 0; i < in_dim; ++i) total += cov.at({i, i});
+  double kept = 0.0;
+  for (int64_t j = 0; j < out_channels_; ++j) {
+    kept += std::max(0.0f, eig.eigenvalues[j]);
+  }
+  explained_variance_ = total > 0.0 ? kept / total : 0.0;
+  fitted_ = true;
+  return Status::OK();
+}
+
+AdapterKind PcaAdapter::kind() const { return AdapterKind::kPca; }
+
+Status PcaAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("PCA adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(in_channels_));
+  io::WriteTensor(os, mean_);
+  io::WriteTensor(os, std_);
+  io::WriteTensor(os, components_);
+  io::WriteF32(os, static_cast<float>(explained_variance_));
+  return Status::OK();
+}
+
+Status PcaAdapter::LoadState(std::istream* is) {
+  uint64_t in_channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &in_channels));
+  in_channels_ = static_cast<int64_t>(in_channels);
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &mean_));
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &std_));
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &components_));
+  float explained = 0.0f;
+  TSFM_RETURN_IF_ERROR(io::ReadF32(is, &explained));
+  explained_variance_ = explained;
+  if (components_.ndim() != 2 || components_.dim(1) != out_channels_) {
+    return Status::InvalidArgument(
+        "adapter file does not match the configured out_channels");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Tensor> PcaAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("PCA adapter not fitted");
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("adapter input must be (N, T, D)");
+  }
+  if (x.dim(2) != in_channels_) {
+    return Status::InvalidArgument("channel count changed since Fit");
+  }
+  const int64_t n = x.dim(0);
+  TSFM_ASSIGN_OR_RETURN(Tensor design, ToDesignMatrix(x, patch_window_));
+  Tensor centered = Div(Sub(design, mean_), std_);
+  Tensor projected = MatMul(centered, components_);  // (rows, D')
+  const int64_t rows_per_sample = design.dim(0) / n;
+  return projected.Reshape(Shape{n, rows_per_sample, out_channels_});
+}
+
+}  // namespace tsfm::core

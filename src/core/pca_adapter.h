@@ -1,0 +1,56 @@
+#ifndef TSFM_CORE_PCA_ADAPTER_H_
+#define TSFM_CORE_PCA_ADAPTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adapter.h"
+
+namespace tsfm::core {
+
+/// Principal Component Analysis adapter (paper Section 3.3 and Appendix C.1).
+///
+/// Standard mode (pws == 1): the input (N, T, D) is reshaped to (N*T, D) so
+/// PCA captures correlations *between channels* across all time steps; the
+/// learned rotation W (D, D') is applied at every time step, preserving the
+/// temporal structure. With `scale` set, columns are standardized first
+/// ("Scaled PCA").
+///
+/// Patch mode (pws > 1): the input is reshaped to (N*n_p, pws*D) with
+/// n_p = T / pws ("Patch PCA"); each window of pws consecutive time steps is
+/// reduced jointly, producing an output of shape (N, n_p, D').
+class PcaAdapter : public Adapter {
+ public:
+  explicit PcaAdapter(const AdapterOptions& options);
+
+  std::string name() const override;
+  int64_t output_channels() const override { return out_channels_; }
+  bool fitted() const override { return fitted_; }
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+  Result<Tensor> Transform(const Tensor& x) const override;
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+  /// Fraction of total variance captured by the retained components.
+  /// Requires fitted().
+  double explained_variance_ratio() const { return explained_variance_; }
+
+  /// The learned projection, shape (in_dim, D') where in_dim = pws * D.
+  const Tensor& components() const { return components_; }
+
+ private:
+  int64_t out_channels_;
+  bool scale_;
+  int64_t patch_window_;
+  bool fitted_ = false;
+  int64_t in_channels_ = 0;
+  Tensor mean_;        // (pws * D)
+  Tensor std_;         // (pws * D), ones when !scale_
+  Tensor components_;  // (pws * D, D')
+  double explained_variance_ = 0.0;
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_PCA_ADAPTER_H_

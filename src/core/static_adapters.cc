@@ -1,0 +1,237 @@
+#include "core/static_adapters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "core/io_util.h"
+#include "linalg/linalg.h"
+#include "tensor/ops.h"
+
+namespace tsfm::core {
+
+namespace {
+
+Status CheckInput3d(const Tensor& x) {
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("adapter input must be (N, T, D), got " +
+                                   ShapeToString(x.shape()));
+  }
+  return Status::OK();
+}
+
+// Applies a (D, D') projection at every time step: (N, T, D) -> (N, T, D').
+Tensor ProjectChannels(const Tensor& x, const Tensor& projection) {
+  const int64_t n = x.dim(0);
+  const int64_t t = x.dim(1);
+  const int64_t d = x.dim(2);
+  Tensor flat = x.Reshape(Shape{n * t, d});
+  Tensor out = MatMul(flat, projection);
+  return out.Reshape(Shape{n, t, projection.dim(1)});
+}
+
+}  // namespace
+
+Status IdentityAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  (void)y;
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  channels_ = x.dim(2);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Tensor> IdentityAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  if (x.dim(2) != channels_) {
+    return Status::InvalidArgument("channel count changed since Fit");
+  }
+  return x;
+}
+
+AdapterKind IdentityAdapter::kind() const { return AdapterKind::kNone; }
+
+Status IdentityAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(channels_));
+  return Status::OK();
+}
+
+Status IdentityAdapter::LoadState(std::istream* is) {
+  uint64_t channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &channels));
+  channels_ = static_cast<int64_t>(channels);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status SvdAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  (void)y;
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  const int64_t d = x.dim(2);
+  if (out_channels_ <= 0 || out_channels_ > d) {
+    return Status::InvalidArgument("SVD out_channels out of range");
+  }
+  in_channels_ = d;
+  Tensor design = x.Reshape(Shape{-1, d});
+  TSFM_ASSIGN_OR_RETURN(SvdResult svd, TruncatedSvd(design, out_channels_));
+  singular_values_ = svd.s;
+  // components_ = V (D, D'): transpose of vt.
+  components_ = TransposeLast2(svd.vt);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Tensor> SvdAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  if (x.dim(2) != in_channels_) {
+    return Status::InvalidArgument("channel count changed since Fit");
+  }
+  return ProjectChannels(x, components_);
+}
+
+AdapterKind SvdAdapter::kind() const { return AdapterKind::kSvd; }
+
+Status SvdAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(in_channels_));
+  io::WriteTensor(os, components_);
+  io::WriteTensor(os, singular_values_);
+  return Status::OK();
+}
+
+Status SvdAdapter::LoadState(std::istream* is) {
+  uint64_t in_channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &in_channels));
+  in_channels_ = static_cast<int64_t>(in_channels);
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &components_));
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &singular_values_));
+  if (components_.ndim() != 2 || components_.dim(1) != out_channels_) {
+    return Status::InvalidArgument("SVD adapter file/config mismatch");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status RandProjAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  (void)y;
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  const int64_t d = x.dim(2);
+  if (out_channels_ <= 0 || out_channels_ > d) {
+    return Status::InvalidArgument("Rand_Proj out_channels out of range");
+  }
+  in_channels_ = d;
+  Rng rng(seed_);
+  projection_ = Tensor::RandN(
+      Shape{d, out_channels_}, &rng,
+      1.0f / std::sqrt(static_cast<float>(out_channels_)));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Tensor> RandProjAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  if (x.dim(2) != in_channels_) {
+    return Status::InvalidArgument("channel count changed since Fit");
+  }
+  return ProjectChannels(x, projection_);
+}
+
+AdapterKind RandProjAdapter::kind() const { return AdapterKind::kRandProj; }
+
+Status RandProjAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(in_channels_));
+  io::WriteTensor(os, projection_);
+  return Status::OK();
+}
+
+Status RandProjAdapter::LoadState(std::istream* is) {
+  uint64_t in_channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &in_channels));
+  in_channels_ = static_cast<int64_t>(in_channels);
+  TSFM_RETURN_IF_ERROR(io::ReadTensor(is, &projection_));
+  if (projection_.ndim() != 2 || projection_.dim(1) != out_channels_) {
+    return Status::InvalidArgument("Rand_Proj adapter file/config mismatch");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status VarAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  (void)y;
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  const int64_t d = x.dim(2);
+  if (out_channels_ <= 0 || out_channels_ > d) {
+    return Status::InvalidArgument("VAR out_channels out of range");
+  }
+  in_channels_ = d;
+  Tensor flat = x.Reshape(Shape{-1, d});
+  Tensor var = Variance(flat, 0);  // (D)
+  std::vector<int64_t> order(static_cast<size_t>(d));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return var[a] > var[b];
+  });
+  selected_.assign(order.begin(), order.begin() + out_channels_);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Tensor> VarAdapter::Transform(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  TSFM_RETURN_IF_ERROR(CheckInput3d(x));
+  if (x.dim(2) != in_channels_) {
+    return Status::InvalidArgument("channel count changed since Fit");
+  }
+  const int64_t n = x.dim(0);
+  const int64_t t = x.dim(1);
+  Tensor out(Shape{n, t, out_channels_});
+  const float* pi = x.data();
+  float* po = out.mutable_data();
+  const int64_t d = in_channels_;
+  for (int64_t row = 0; row < n * t; ++row) {
+    const float* src = pi + row * d;
+    float* dst = po + row * out_channels_;
+    for (int64_t j = 0; j < out_channels_; ++j) {
+      dst[j] = src[selected_[static_cast<size_t>(j)]];
+    }
+  }
+  return out;
+}
+
+}  // namespace tsfm::core
+
+namespace tsfm::core {
+
+AdapterKind VarAdapter::kind() const { return AdapterKind::kVar; }
+
+Status VarAdapter::SaveState(std::ostream* os) const {
+  if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
+  io::WriteU64(os, static_cast<uint64_t>(in_channels_));
+  io::WriteInt64Vector(os, selected_);
+  return Status::OK();
+}
+
+Status VarAdapter::LoadState(std::istream* is) {
+  uint64_t in_channels = 0;
+  TSFM_RETURN_IF_ERROR(io::ReadU64(is, &in_channels));
+  in_channels_ = static_cast<int64_t>(in_channels);
+  TSFM_RETURN_IF_ERROR(io::ReadInt64Vector(is, &selected_));
+  if (static_cast<int64_t>(selected_.size()) != out_channels_) {
+    return Status::InvalidArgument("VAR adapter file/config mismatch");
+  }
+  for (int64_t ch : selected_) {
+    if (ch < 0 || ch >= in_channels_) {
+      return Status::InvalidArgument("VAR adapter has out-of-range channel");
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace tsfm::core

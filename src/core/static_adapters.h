@@ -1,0 +1,109 @@
+#ifndef TSFM_CORE_STATIC_ADAPTERS_H_
+#define TSFM_CORE_STATIC_ADAPTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adapter.h"
+
+namespace tsfm::core {
+
+/// Identity adapter: keeps all D channels ("no adapter" baseline).
+class IdentityAdapter : public Adapter {
+ public:
+  std::string name() const override { return "no_adapter"; }
+  int64_t output_channels() const override { return channels_; }
+  bool fitted() const override { return fitted_; }
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+  Result<Tensor> Transform(const Tensor& x) const override;
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+ private:
+  int64_t channels_ = 0;
+  bool fitted_ = false;
+};
+
+/// Truncated-SVD adapter: like PCA but operates on the *uncentered* design
+/// matrix (N*T, D), keeping the top-D' right singular directions.
+class SvdAdapter : public Adapter {
+ public:
+  explicit SvdAdapter(const AdapterOptions& options)
+      : out_channels_(options.out_channels) {}
+
+  std::string name() const override { return "SVD"; }
+  int64_t output_channels() const override { return out_channels_; }
+  bool fitted() const override { return fitted_; }
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+  Result<Tensor> Transform(const Tensor& x) const override;
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+  /// Retained singular values (descending), shape (D').
+  const Tensor& singular_values() const { return singular_values_; }
+
+ private:
+  int64_t out_channels_;
+  bool fitted_ = false;
+  int64_t in_channels_ = 0;
+  Tensor components_;  // (D, D')
+  Tensor singular_values_;
+};
+
+/// Gaussian random-projection adapter: channels are mixed through a fixed
+/// random matrix with N(0, 1/D') entries — no variance is preserved by
+/// design, only pairwise geometry in expectation (Johnson-Lindenstrauss).
+class RandProjAdapter : public Adapter {
+ public:
+  explicit RandProjAdapter(const AdapterOptions& options)
+      : out_channels_(options.out_channels), seed_(options.seed) {}
+
+  std::string name() const override { return "Rand_Proj"; }
+  int64_t output_channels() const override { return out_channels_; }
+  bool fitted() const override { return fitted_; }
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+  Result<Tensor> Transform(const Tensor& x) const override;
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+ private:
+  int64_t out_channels_;
+  uint64_t seed_;
+  bool fitted_ = false;
+  int64_t in_channels_ = 0;
+  Tensor projection_;  // (D, D')
+};
+
+/// Variance-based feature selection: keeps the D' channels with the highest
+/// variance over the training split (low-variance channels are assumed
+/// uninformative).
+class VarAdapter : public Adapter {
+ public:
+  explicit VarAdapter(const AdapterOptions& options)
+      : out_channels_(options.out_channels) {}
+
+  std::string name() const override { return "VAR"; }
+  int64_t output_channels() const override { return out_channels_; }
+  bool fitted() const override { return fitted_; }
+  Status Fit(const Tensor& x, const std::vector<int64_t>& y) override;
+  Result<Tensor> Transform(const Tensor& x) const override;
+  AdapterKind kind() const override;
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
+
+  /// Indices of the selected channels (descending variance).
+  const std::vector<int64_t>& selected_channels() const { return selected_; }
+
+ private:
+  int64_t out_channels_;
+  bool fitted_ = false;
+  int64_t in_channels_ = 0;
+  std::vector<int64_t> selected_;
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_STATIC_ADAPTERS_H_

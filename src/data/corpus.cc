@@ -1,0 +1,118 @@
+#include "data/corpus.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tsfm::data {
+
+Tensor GeneratePretrainCorpus(int64_t n, int64_t t, uint64_t seed) {
+  TSFM_CHECK_GT(n, 0);
+  TSFM_CHECK_GT(t, 1);
+  Rng rng(seed);
+  Tensor out(Shape{n, t});
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = p + i * t;
+    const uint64_t family = rng.UniformInt(5);
+    switch (family) {
+      case 0: {  // mixture of 1-3 sinusoids
+        const int64_t k = 1 + static_cast<int64_t>(rng.UniformInt(3));
+        for (int64_t s = 0; s < t; ++s) row[s] = 0.0f;
+        for (int64_t j = 0; j < k; ++j) {
+          const float f = static_cast<float>(rng.Uniform(1.0, 12.0));
+          const float a = static_cast<float>(rng.Uniform(0.3, 1.2));
+          const float ph = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+          for (int64_t s = 0; s < t; ++s) {
+            const float tau = static_cast<float>(s) / static_cast<float>(t);
+            row[s] += a * std::sin(2.0f * static_cast<float>(M_PI) * f * tau + ph);
+          }
+        }
+        break;
+      }
+      case 1: {  // AR(1)
+        const float phi = static_cast<float>(rng.Uniform(0.5, 0.98));
+        float prev = 0.0f;
+        for (int64_t s = 0; s < t; ++s) {
+          prev = phi * prev + static_cast<float>(rng.Normal(0.0, 1.0));
+          row[s] = prev;
+        }
+        break;
+      }
+      case 2: {  // linear trend + seasonality + noise
+        const float slope = static_cast<float>(rng.Normal(0.0, 2.0));
+        const float f = static_cast<float>(rng.Uniform(2.0, 8.0));
+        const float a = static_cast<float>(rng.Uniform(0.2, 1.0));
+        for (int64_t s = 0; s < t; ++s) {
+          const float tau = static_cast<float>(s) / static_cast<float>(t);
+          row[s] = slope * tau +
+                   a * std::sin(2.0f * static_cast<float>(M_PI) * f * tau) +
+                   static_cast<float>(rng.Normal(0.0, 0.15));
+        }
+        break;
+      }
+      case 3: {  // square wave
+        const float f = static_cast<float>(rng.Uniform(1.0, 6.0));
+        const float ph = static_cast<float>(rng.Uniform(0.0, 1.0));
+        for (int64_t s = 0; s < t; ++s) {
+          const float tau = static_cast<float>(s) / static_cast<float>(t);
+          const float cycle = f * tau + ph;
+          row[s] = (cycle - std::floor(cycle)) < 0.5f ? 1.0f : -1.0f;
+          row[s] += static_cast<float>(rng.Normal(0.0, 0.1));
+        }
+        break;
+      }
+      default: {  // sawtooth
+        const float f = static_cast<float>(rng.Uniform(1.0, 6.0));
+        const float ph = static_cast<float>(rng.Uniform(0.0, 1.0));
+        for (int64_t s = 0; s < t; ++s) {
+          const float tau = static_cast<float>(s) / static_cast<float>(t);
+          const float cycle = f * tau + ph;
+          row[s] = 2.0f * (cycle - std::floor(cycle)) - 1.0f;
+          row[s] += static_cast<float>(rng.Normal(0.0, 0.1));
+        }
+        break;
+      }
+    }
+    // z-normalize each series.
+    double mean = 0.0;
+    for (int64_t s = 0; s < t; ++s) mean += row[s];
+    mean /= t;
+    double var = 0.0;
+    for (int64_t s = 0; s < t; ++s) {
+      const double c = row[s] - mean;
+      var += c * c;
+    }
+    const float inv_std =
+        1.0f / std::max(1e-6f, static_cast<float>(std::sqrt(var / t)));
+    for (int64_t s = 0; s < t; ++s) {
+      row[s] = (row[s] - static_cast<float>(mean)) * inv_std;
+    }
+  }
+  return out;
+}
+
+Tensor AugmentView(const Tensor& batch, Rng* rng) {
+  TSFM_CHECK_EQ(batch.ndim(), 2);
+  const int64_t n = batch.dim(0);
+  const int64_t t = batch.dim(1);
+  Tensor out(batch.shape());
+  const float* pi = batch.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float scale = static_cast<float>(rng->Uniform(0.7, 1.3));
+    const int64_t shift = static_cast<int64_t>(rng->UniformInt(
+        static_cast<uint64_t>(std::max<int64_t>(1, t / 8))));
+    const float jitter_std = static_cast<float>(rng->Uniform(0.02, 0.12));
+    const float* src = pi + i * t;
+    float* dst = po + i * t;
+    for (int64_t s = 0; s < t; ++s) {
+      const int64_t from = (s + shift) % t;
+      dst[s] = scale * src[from] +
+               static_cast<float>(rng->Normal(0.0, jitter_std));
+    }
+  }
+  return out;
+}
+
+}  // namespace tsfm::data

@@ -1,0 +1,24 @@
+#ifndef TSFM_DATA_CORPUS_H_
+#define TSFM_DATA_CORPUS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tsfm::data {
+
+/// Generates a heterogeneous univariate pretraining corpus of shape (N, T):
+/// a mix of sinusoid mixtures, AR(1) processes, trend+seasonality, square and
+/// sawtooth waves — the synthetic stand-in for the large multi-domain corpora
+/// TSFMs are pretrained on. Each series is z-normalized.
+Tensor GeneratePretrainCorpus(int64_t n, int64_t t, uint64_t seed);
+
+/// Stochastic augmentation of a batch of univariate series (B, T) used to
+/// form positive pairs for contrastive (InfoNCE) pretraining: amplitude
+/// scaling, additive jitter and a random cyclic time shift.
+Tensor AugmentView(const Tensor& batch, Rng* rng);
+
+}  // namespace tsfm::data
+
+#endif  // TSFM_DATA_CORPUS_H_

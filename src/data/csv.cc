@@ -1,0 +1,135 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace tsfm::data {
+
+Status SaveCsv(const TimeSeriesDataset& ds, const std::string& path) {
+  TSFM_RETURN_IF_ERROR(Validate(ds));
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return Status::IoError("cannot open for writing: " + path);
+  os << "sample,label,t";
+  for (int64_t d = 0; d < ds.channels(); ++d) os << ",ch" << d;
+  os << "\n";
+  const float* p = ds.x.data();
+  const int64_t t_len = ds.length();
+  const int64_t d_len = ds.channels();
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    for (int64_t t = 0; t < t_len; ++t) {
+      os << i << "," << ds.y[static_cast<size_t>(i)] << "," << t;
+      const float* row = p + (i * t_len + t) * d_len;
+      for (int64_t d = 0; d < d_len; ++d) os << "," << row[d];
+      os << "\n";
+    }
+  }
+  if (!os) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeriesDataset> LoadCsv(const std::string& path,
+                                  const std::string& name) {
+  std::ifstream is(path);
+  if (!is) return Status::IoError("cannot open for reading: " + path);
+  std::string header;
+  if (!std::getline(is, header)) {
+    return Status::IoError("empty CSV: " + path);
+  }
+  // Count channel columns from the header.
+  int64_t channels = 0;
+  {
+    std::stringstream ss(header);
+    std::string col;
+    while (std::getline(ss, col, ',')) {
+      if (col.rfind("ch", 0) == 0) ++channels;
+    }
+  }
+  if (channels == 0) {
+    return Status::InvalidArgument("CSV header has no chN columns: " + header);
+  }
+
+  struct Row {
+    int64_t t;
+    std::vector<float> values;
+  };
+  std::map<int64_t, int64_t> labels;              // sample -> label
+  std::map<int64_t, std::vector<Row>> samples;    // sample -> rows
+  std::string line;
+  int64_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    auto next_field = [&](int64_t* out) {
+      if (!std::getline(ss, field, ',')) return false;
+      *out = std::atoll(field.c_str());
+      return true;
+    };
+    int64_t sample = 0, label = 0, t = 0;
+    if (!next_field(&sample) || !next_field(&label) || !next_field(&t)) {
+      return Status::InvalidArgument("malformed CSV line " +
+                                     std::to_string(line_no));
+    }
+    if (label < 0) {
+      return Status::InvalidArgument("negative label at line " +
+                                     std::to_string(line_no));
+    }
+    Row row;
+    row.t = t;
+    row.values.reserve(static_cast<size_t>(channels));
+    while (std::getline(ss, field, ',')) {
+      row.values.push_back(std::strtof(field.c_str(), nullptr));
+    }
+    if (static_cast<int64_t>(row.values.size()) != channels) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + " has " +
+          std::to_string(row.values.size()) + " channels, expected " +
+          std::to_string(channels));
+    }
+    auto [it, inserted] = labels.emplace(sample, label);
+    if (!inserted && it->second != label) {
+      return Status::InvalidArgument("inconsistent label for sample " +
+                                     std::to_string(sample));
+    }
+    samples[sample].push_back(std::move(row));
+  }
+  if (samples.empty()) return Status::InvalidArgument("CSV has no data rows");
+
+  const int64_t t_len = static_cast<int64_t>(samples.begin()->second.size());
+  const int64_t n = static_cast<int64_t>(samples.size());
+  TimeSeriesDataset ds;
+  ds.name = name;
+  ds.x = Tensor(Shape{n, t_len, channels});
+  ds.y.reserve(static_cast<size_t>(n));
+  int64_t max_label = 0;
+  int64_t i = 0;
+  for (auto& [sample_id, rows] : samples) {
+    if (static_cast<int64_t>(rows.size()) != t_len) {
+      return Status::InvalidArgument(
+          "sample " + std::to_string(sample_id) + " has " +
+          std::to_string(rows.size()) + " time steps, expected " +
+          std::to_string(t_len));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.t < b.t; });
+    for (int64_t t = 0; t < t_len; ++t) {
+      for (int64_t d = 0; d < channels; ++d) {
+        ds.x.at({i, t, d}) = rows[static_cast<size_t>(t)]
+                                 .values[static_cast<size_t>(d)];
+      }
+    }
+    const int64_t label = labels.at(sample_id);
+    max_label = std::max(max_label, label);
+    ds.y.push_back(label);
+    ++i;
+  }
+  ds.num_classes = max_label + 1;
+  TSFM_RETURN_IF_ERROR(Validate(ds));
+  return ds;
+}
+
+}  // namespace tsfm::data

@@ -1,0 +1,29 @@
+#ifndef TSFM_DATA_CSV_H_
+#define TSFM_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace tsfm::data {
+
+/// Writes `ds` to a CSV file with one row per (sample, time step):
+///
+///   sample,label,t,ch0,ch1,...,ch{D-1}
+///
+/// The header row records the channel count; rows are emitted in
+/// (sample, time) order. Intended for interoperability with external tooling
+/// (pandas, sktime exports of the real UEA archive, ...).
+Status SaveCsv(const TimeSeriesDataset& ds, const std::string& path);
+
+/// Reads a dataset previously written by SaveCsv (or produced externally in
+/// the same layout). All samples must have the same length and channel
+/// count; labels must be non-negative integers. `num_classes` is inferred as
+/// max(label) + 1.
+Result<TimeSeriesDataset> LoadCsv(const std::string& path,
+                                  const std::string& name = "csv");
+
+}  // namespace tsfm::data
+
+#endif  // TSFM_DATA_CSV_H_

@@ -1,0 +1,170 @@
+#include "data/uea_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tsfm::data {
+
+const std::vector<UeaDatasetSpec>& UeaSpecs() {
+  // Shapes from the paper's Table 3. latent_dim is our synthetic intrinsic
+  // channel dimension (dataset-dependent, between 4 and 10).
+  static const std::vector<UeaDatasetSpec>* kSpecs =
+      new std::vector<UeaDatasetSpec>{
+          {"DuckDuckGeese", "Duck", 60, 40, 1345, 270, 5, 6},
+          {"FaceDetection", "Face", 5890, 3524, 144, 62, 2, 8},
+          {"FingerMovements", "Finger", 316, 100, 28, 50, 2, 5},
+          {"HandMovementDirection", "Hand", 320, 147, 10, 400, 4, 4},
+          {"Heartbeat", "Heart", 204, 205, 61, 405, 2, 6},
+          {"InsectWingbeat", "Insect", 1000, 1000, 200, 78, 10, 10},
+          {"JapaneseVowels", "Vowels", 270, 370, 12, 29, 9, 6},
+          {"MotorImagery", "Motor", 278, 100, 64, 3000, 2, 6},
+          {"NATOPS", "NATOPS", 180, 180, 24, 51, 6, 6},
+          {"PEMS-SF", "PEMS", 267, 173, 963, 144, 7, 8},
+          {"PhonemeSpectra", "Phoneme", 3315, 3353, 11, 217, 39, 6},
+          {"SpokenArabicDigits", "SpokeA", 6599, 2199, 13, 93, 10, 6},
+      };
+  return *kSpecs;
+}
+
+Result<UeaDatasetSpec> FindUeaSpec(const std::string& name) {
+  for (const auto& spec : UeaSpecs()) {
+    if (spec.name == name || spec.abbrev == name) return spec;
+  }
+  return Status::NotFound("no UEA dataset spec named '" + name + "'");
+}
+
+GeneratorCaps DefaultCaps() { return GeneratorCaps{120, 80, 64, 256}; }
+
+GeneratorCaps FastCaps() { return GeneratorCaps{64, 40, 48, 96}; }
+
+namespace {
+
+int64_t ApplyCap(int64_t value, int64_t cap) {
+  return cap > 0 ? std::min(value, cap) : value;
+}
+
+// Class-conditional latent signal parameters.
+struct ClassProcess {
+  std::vector<float> freq;       // cycles per series, per latent channel
+  std::vector<float> amplitude;  // per latent channel
+  std::vector<float> phase;      // per latent channel
+  std::vector<float> offset;     // per latent channel (small DC shift)
+};
+
+TimeSeriesDataset GenerateSplit(const UeaDatasetSpec& spec, int64_t n,
+                                int64_t t, int64_t d,
+                                const std::vector<ClassProcess>& classes,
+                                const Tensor& mixing, Rng* rng) {
+  const int64_t latent = spec.latent_dim;
+  TimeSeriesDataset ds;
+  ds.name = spec.name;
+  ds.num_classes = spec.classes;
+  ds.x = Tensor(Shape{n, t, d});
+  ds.y.resize(static_cast<size_t>(n));
+
+  std::vector<float> z(static_cast<size_t>(latent));
+  std::vector<float> ar(static_cast<size_t>(latent), 0.0f);
+  float* px = ds.x.mutable_data();
+  const float* pm = mixing.data();
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = static_cast<int64_t>(rng->UniformInt(
+        static_cast<uint64_t>(spec.classes)));
+    ds.y[static_cast<size_t>(i)] = c;
+    const ClassProcess& proc = classes[static_cast<size_t>(c)];
+    // Per-sample jitter so samples within a class differ.
+    std::vector<float> phase_jitter(static_cast<size_t>(latent));
+    std::vector<float> amp_jitter(static_cast<size_t>(latent));
+    for (int64_t l = 0; l < latent; ++l) {
+      phase_jitter[static_cast<size_t>(l)] =
+          static_cast<float>(rng->Normal(0.0, 0.35));
+      amp_jitter[static_cast<size_t>(l)] =
+          static_cast<float>(rng->Normal(1.0, 0.12));
+    }
+    std::fill(ar.begin(), ar.end(), 0.0f);
+    for (int64_t step = 0; step < t; ++step) {
+      const float tau = static_cast<float>(step) / static_cast<float>(t);
+      for (int64_t l = 0; l < latent; ++l) {
+        const size_t ls = static_cast<size_t>(l);
+        // AR(1) latent noise, shared coefficient.
+        ar[ls] = 0.8f * ar[ls] + static_cast<float>(rng->Normal(0.0, 0.25));
+        z[ls] = proc.offset[ls] +
+                proc.amplitude[ls] * amp_jitter[ls] *
+                    std::sin(2.0f * static_cast<float>(M_PI) * proc.freq[ls] *
+                                 tau +
+                             proc.phase[ls] + phase_jitter[ls]) +
+                ar[ls];
+      }
+      float* row = px + (i * t + step) * d;
+      for (int64_t ch = 0; ch < d; ++ch) {
+        float v = 0.0f;
+        const float* mrow = pm + ch * latent;
+        for (int64_t l = 0; l < latent; ++l) {
+          v += mrow[l] * z[static_cast<size_t>(l)];
+        }
+        row[ch] = v + static_cast<float>(rng->Normal(0.0, 0.1));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+DatasetPair GenerateUeaLike(const UeaDatasetSpec& spec, uint64_t seed,
+                            const GeneratorCaps& caps) {
+  TSFM_CHECK_GT(spec.classes, 0);
+  TSFM_CHECK_GT(spec.latent_dim, 0);
+  // The *process* (class parameters, mixing matrix) is derived only from the
+  // dataset name so that different seeds give different samples of the same
+  // underlying classification problem.
+  uint64_t name_hash = 1469598103934665603ULL;
+  for (char ch : spec.name) {
+    name_hash = (name_hash ^ static_cast<uint64_t>(ch)) * 1099511628211ULL;
+  }
+  Rng process_rng(name_hash);
+
+  const int64_t latent = spec.latent_dim;
+  const int64_t d = ApplyCap(spec.channels, caps.max_channels);
+  const int64_t t = ApplyCap(spec.length, caps.max_length);
+  const int64_t n_train = ApplyCap(spec.train_size, caps.max_train);
+  const int64_t n_test = ApplyCap(spec.test_size, caps.max_test);
+
+  std::vector<ClassProcess> classes(static_cast<size_t>(spec.classes));
+  for (int64_t c = 0; c < spec.classes; ++c) {
+    ClassProcess& proc = classes[static_cast<size_t>(c)];
+    proc.freq.resize(static_cast<size_t>(latent));
+    proc.amplitude.resize(static_cast<size_t>(latent));
+    proc.phase.resize(static_cast<size_t>(latent));
+    proc.offset.resize(static_cast<size_t>(latent));
+    for (int64_t l = 0; l < latent; ++l) {
+      const size_t ls = static_cast<size_t>(l);
+      proc.freq[ls] = static_cast<float>(process_rng.Uniform(1.0, 9.0));
+      proc.amplitude[ls] = static_cast<float>(process_rng.Uniform(0.6, 1.6));
+      proc.phase[ls] =
+          static_cast<float>(process_rng.Uniform(0.0, 2.0 * M_PI));
+      proc.offset[ls] = static_cast<float>(process_rng.Normal(0.0, 0.3));
+    }
+  }
+  // Dataset-wide mixing matrix (channels x latent): dense, so every observed
+  // channel is a combination of all latent signals (high channel redundancy).
+  Tensor mixing = Tensor::RandN(Shape{d, latent}, &process_rng,
+                                1.0f / std::sqrt(static_cast<float>(latent)));
+  // Give channels very different variances so VARiance-based selection has
+  // signal to work with.
+  for (int64_t ch = 0; ch < d; ++ch) {
+    const float gain = static_cast<float>(process_rng.Uniform(0.2, 1.8));
+    float* row = mixing.mutable_data() + ch * latent;
+    for (int64_t l = 0; l < latent; ++l) row[l] *= gain;
+  }
+
+  Rng sample_rng(seed ^ name_hash);
+  DatasetPair pair;
+  pair.train = GenerateSplit(spec, n_train, t, d, classes, mixing, &sample_rng);
+  pair.test = GenerateSplit(spec, n_test, t, d, classes, mixing, &sample_rng);
+  return pair;
+}
+
+}  // namespace tsfm::data

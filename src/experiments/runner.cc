@@ -1,0 +1,218 @@
+#include "experiments/runner.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tsfm::experiments {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentConfig ConfigFromEnv() {
+  ExperimentConfig config;
+  if (const char* fast = std::getenv("TSFM_BENCH_FAST");
+      fast != nullptr && std::string(fast) == "1") {
+    config.fast = true;
+    config.caps = data::FastCaps();
+    config.num_seeds = 2;
+  }
+  if (const char* seeds = std::getenv("TSFM_SEEDS"); seeds != nullptr) {
+    config.num_seeds = std::max<int64_t>(1, std::atoll(seeds));
+  }
+  if (const char* ds = std::getenv("TSFM_DATASETS"); ds != nullptr) {
+    config.dataset_filter = SplitCsv(ds);
+  }
+  if (const char* dir = std::getenv("TSFM_CHECKPOINT_DIR"); dir != nullptr) {
+    config.checkpoint_dir = dir;
+  }
+  return config;
+}
+
+double RunRecord::accuracy() const {
+  if (!measured.has_value()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return measured->test_accuracy;
+}
+
+std::string RunRecord::CellString() const {
+  if (!completed()) return resources::VerdictString(estimate.verdict);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", measured->test_accuracy);
+  return buf;
+}
+
+std::string MethodLabel(const std::optional<core::AdapterKind>& adapter,
+                        const core::AdapterOptions& options) {
+  if (!adapter.has_value()) return "no_adapter";
+  if (*adapter == core::AdapterKind::kPca) {
+    if (options.pca_patch_window > 1) {
+      return "PatchPCA_" + std::to_string(options.pca_patch_window);
+    }
+    return options.pca_scale ? "ScaledPCA" : "PCA";
+  }
+  return core::AdapterKindName(*adapter);
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<data::UeaDatasetSpec> ExperimentRunner::Datasets() const {
+  std::vector<data::UeaDatasetSpec> out;
+  for (const auto& spec : data::UeaSpecs()) {
+    if (config_.dataset_filter.empty()) {
+      out.push_back(spec);
+      continue;
+    }
+    for (const auto& want : config_.dataset_filter) {
+      if (spec.name == want || spec.abbrev == want) {
+        out.push_back(spec);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<models::FoundationModel>> ExperimentRunner::GetModel(
+    models::ModelKind kind) {
+  auto it = models_.find(kind);
+  if (it != models_.end()) return it->second;
+
+  models::FoundationModelConfig model_config =
+      kind == models::ModelKind::kMoment ? models::MomentSmallConfig()
+                                         : models::VitSmallConfig();
+  models::PretrainOptions pretrain;
+  if (config_.fast) {
+    pretrain.corpus_size = 256;
+    pretrain.epochs = 2;
+  }
+  std::string cache;
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    cache = config_.checkpoint_dir + "/" +
+            std::string(models::ModelKindName(kind)) +
+            (config_.fast ? "_fast" : "_small") + ".ckpt";
+  }
+  TSFM_ASSIGN_OR_RETURN(std::shared_ptr<models::FoundationModel> model,
+                        models::LoadOrPretrain(kind, model_config, pretrain,
+                                               cache));
+  models_.emplace(kind, model);
+  return model;
+}
+
+Result<const data::DatasetPair*> ExperimentRunner::GetDataset(
+    const std::string& name, uint64_t seed) {
+  const auto key = std::make_pair(name, seed);
+  auto it = datasets_.find(key);
+  if (it == datasets_.end()) {
+    TSFM_ASSIGN_OR_RETURN(data::UeaDatasetSpec spec, data::FindUeaSpec(name));
+    it = datasets_
+             .emplace(key, data::GenerateUeaLike(spec, seed, config_.caps))
+             .first;
+  }
+  return &it->second;
+}
+
+resources::TrainRegime ExperimentRunner::RegimeFor(const RunSpec& spec) const {
+  const bool learnable =
+      spec.adapter.has_value() &&
+      (*spec.adapter == core::AdapterKind::kLcomb ||
+       *spec.adapter == core::AdapterKind::kLcombTopK);
+  if (spec.strategy == finetune::Strategy::kFullFineTune) {
+    return resources::TrainRegime::kFullFineTune;
+  }
+  if (learnable) return resources::TrainRegime::kAdapterPlusHeadLearnable;
+  return resources::TrainRegime::kEmbedOnceHeadOnly;
+}
+
+resources::ResourceEstimate ExperimentRunner::Estimate(
+    const RunSpec& spec) const {
+  auto spec_or = data::FindUeaSpec(spec.dataset);
+  TSFM_CHECK(spec_or.ok()) << spec_or.status().ToString();
+  const data::UeaDatasetSpec& ds = *spec_or;
+
+  const resources::PaperModelSpec model =
+      spec.model_kind == models::ModelKind::kMoment
+          ? resources::MomentPaperSpec()
+          : resources::VitPaperSpec();
+  // Channels the paper-scale encoder sees: D' behind an adapter, D without.
+  // Identity adapters keep all channels.
+  int64_t channels = ds.channels;
+  if (spec.adapter.has_value() &&
+      *spec.adapter != core::AdapterKind::kNone) {
+    channels = std::min(channels, spec.adapter_options.out_channels);
+  }
+  resources::Workload workload{ds.train_size, ds.test_size, channels};
+  return resources::EstimateRun(model, resources::V100Spec(), workload,
+                                RegimeFor(spec));
+}
+
+Result<RunRecord> ExperimentRunner::Run(const RunSpec& spec) {
+  RunRecord record;
+  record.dataset = spec.dataset;
+  record.model_kind = spec.model_kind;
+  record.method = MethodLabel(spec.adapter, spec.adapter_options);
+  record.seed = spec.seed;
+  record.estimate = Estimate(spec);
+  if (record.estimate.verdict != resources::Verdict::kOk) {
+    // The paper-scale run would have died with COM/TO: report the verdict
+    // without burning compute, exactly as the paper's tables do.
+    return record;
+  }
+
+  TSFM_ASSIGN_OR_RETURN(std::shared_ptr<models::FoundationModel> model,
+                        GetModel(spec.model_kind));
+  if (spec.strategy == finetune::Strategy::kFullFineTune) {
+    // Full fine-tuning mutates the encoder: give the run its own copy of the
+    // pretrained weights instead of polluting the shared cached model.
+    models_.erase(spec.model_kind);
+    TSFM_ASSIGN_OR_RETURN(model, GetModel(spec.model_kind));
+    models_.erase(spec.model_kind);  // do not reuse the mutated instance
+  }
+  TSFM_ASSIGN_OR_RETURN(const data::DatasetPair* pair,
+                        GetDataset(spec.dataset, spec.seed));
+
+  std::unique_ptr<core::Adapter> adapter;
+  if (spec.adapter.has_value()) {
+    core::AdapterOptions options = spec.adapter_options;
+    options.seed = spec.seed * 7919 + 17;
+    // Clamp D' to the realized channel count (caps may shrink tiny datasets).
+    options.out_channels =
+        std::min(options.out_channels, pair->train.channels());
+    adapter = core::CreateAdapter(*spec.adapter, options);
+  }
+
+  finetune::FineTuneOptions ft;
+  ft.strategy = spec.strategy;
+  ft.seed = spec.seed;
+  if (config_.fast) {
+    ft.head_epochs = 30;
+    ft.joint_epochs = 14;
+  }
+  TSFM_ASSIGN_OR_RETURN(
+      finetune::FineTuneResult measured,
+      finetune::FineTune(model.get(), adapter.get(), pair->train, pair->test,
+                         ft));
+  record.measured = measured;
+  return record;
+}
+
+}  // namespace tsfm::experiments

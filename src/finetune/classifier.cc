@@ -1,0 +1,133 @@
+#include "finetune/classifier.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/io_util.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace tsfm::finetune {
+
+Result<TsfmClassifier> TsfmClassifier::Create(const ClassifierConfig& config) {
+  TsfmClassifier classifier;
+  classifier.config_ = config;
+  // Default the architecture to the requested family if the caller left the
+  // config at its MOMENT default but asked for ViT.
+  if (config.model_kind == models::ModelKind::kVit &&
+      classifier.config_.model_config.name == "MOMENT") {
+    classifier.config_.model_config = models::VitSmallConfig();
+  }
+  TSFM_ASSIGN_OR_RETURN(
+      classifier.model_,
+      models::LoadOrPretrain(config.model_kind,
+                             classifier.config_.model_config, config.pretrain,
+                             config.checkpoint_path));
+  if (config.adapter.has_value()) {
+    classifier.adapter_ =
+        core::CreateAdapter(*config.adapter, config.adapter_options);
+    if (classifier.adapter_ == nullptr) {
+      return Status::InvalidArgument("unknown adapter kind");
+    }
+  }
+  return classifier;
+}
+
+Status TsfmClassifier::Fit(const data::TimeSeriesDataset& train,
+                           const data::TimeSeriesDataset* valid) {
+  TSFM_RETURN_IF_ERROR(data::Validate(train));
+  stats_ = data::ComputeChannelStats(train);
+
+  Rng head_rng(config_.finetune.seed * 2654435761ULL + 13);
+  head_ = std::make_unique<models::ClassificationHead>(
+      model_->embedding_dim(), train.num_classes, &head_rng);
+
+  // FineTuneWithHead normalizes internally; we keep `stats_` only for
+  // Predict-time preprocessing, so the two normalizations are identical by
+  // construction.
+  const data::TimeSeriesDataset& eval_split =
+      valid != nullptr ? *valid : train;
+  auto result = FineTuneWithHead(model_.get(), adapter_.get(), head_.get(),
+                                 train, eval_split, config_.finetune);
+  TSFM_RETURN_IF_ERROR(result.status());
+  last_result_ = *result;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> TsfmClassifier::Predict(const Tensor& x) const {
+  if (!fitted_) return Status::FailedPrecondition("classifier not fitted");
+  if (x.ndim() != 3) {
+    return Status::InvalidArgument("Predict expects (N, T, D)");
+  }
+  ag::NoGradGuard guard;
+  Tensor input = x;
+  if (config_.finetune.normalize) {
+    input = Div(Sub(x, stats_.mean), stats_.std);
+  }
+  std::vector<int64_t> predictions;
+  predictions.reserve(static_cast<size_t>(x.dim(0)));
+  const int64_t batch = std::max<int64_t>(1, config_.finetune.batch_size);
+  Rng eval_rng(config_.finetune.seed + 99);
+  nn::ForwardContext ctx{/*training=*/false, &eval_rng};
+  for (int64_t start = 0; start < input.dim(0); start += batch) {
+    const int64_t end = std::min(input.dim(0), start + batch);
+    Tensor xb = Slice(input, 0, start, end);
+    ag::Var reduced = ag::Constant(xb);
+    if (adapter_ != nullptr) reduced = adapter_->TransformVar(reduced);
+    ag::Var emb = model_->EncodeChannels(reduced, ctx);
+    ag::Var logits = head_->Forward(emb);
+    for (int64_t p : ArgMaxLast(logits.value())) predictions.push_back(p);
+  }
+  return predictions;
+}
+
+Result<double> TsfmClassifier::Evaluate(
+    const data::TimeSeriesDataset& ds) const {
+  TSFM_RETURN_IF_ERROR(data::Validate(ds));
+  TSFM_ASSIGN_OR_RETURN(std::vector<int64_t> predictions, Predict(ds.x));
+  return data::Accuracy(predictions, ds);
+}
+
+Status TsfmClassifier::Save(const std::string& prefix) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot save an unfitted classifier");
+  }
+  if (adapter_ != nullptr) {
+    TSFM_RETURN_IF_ERROR(core::SaveAdapter(*adapter_, config_.adapter_options,
+                                           prefix + ".adapter"));
+  }
+  TSFM_RETURN_IF_ERROR(nn::SaveCheckpoint(*head_, prefix + ".head"));
+  std::ofstream os(prefix + ".stats", std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IoError("cannot open " + prefix + ".stats");
+  core::io::WriteTensor(&os, stats_.mean);
+  core::io::WriteTensor(&os, stats_.std);
+  if (!os) return Status::IoError("write failed: " + prefix + ".stats");
+  return Status::OK();
+}
+
+Status TsfmClassifier::Load(const std::string& prefix, int64_t num_classes) {
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (config_.adapter.has_value()) {
+    TSFM_ASSIGN_OR_RETURN(adapter_, core::LoadAdapter(prefix + ".adapter"));
+    if (adapter_->kind() != *config_.adapter) {
+      return Status::InvalidArgument(
+          "saved adapter kind does not match the classifier configuration");
+    }
+  }
+  Rng head_rng(0);  // weights are overwritten by the checkpoint below
+  head_ = std::make_unique<models::ClassificationHead>(
+      model_->embedding_dim(), num_classes, &head_rng);
+  TSFM_RETURN_IF_ERROR(nn::LoadCheckpoint(head_.get(), prefix + ".head"));
+  std::ifstream is(prefix + ".stats", std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + prefix + ".stats");
+  TSFM_RETURN_IF_ERROR(core::io::ReadTensor(&is, &stats_.mean));
+  TSFM_RETURN_IF_ERROR(core::io::ReadTensor(&is, &stats_.std));
+  fitted_ = true;
+  last_result_ = FineTuneResult{};
+  return Status::OK();
+}
+
+}  // namespace tsfm::finetune

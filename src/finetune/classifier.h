@@ -1,0 +1,93 @@
+#ifndef TSFM_FINETUNE_CLASSIFIER_H_
+#define TSFM_FINETUNE_CLASSIFIER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adapter.h"
+#include "finetune/finetune.h"
+#include "models/head.h"
+#include "models/pretrained.h"
+
+namespace tsfm::finetune {
+
+/// Configuration of the one-stop classifier pipeline.
+struct ClassifierConfig {
+  models::ModelKind model_kind = models::ModelKind::kMoment;
+  models::FoundationModelConfig model_config;  // defaulted from model_kind
+  models::PretrainOptions pretrain;
+  /// Pretrained checkpoint location; empty = pretrain in memory each time.
+  std::string checkpoint_path;
+  /// nullopt = no adapter (all channels go to the encoder).
+  std::optional<core::AdapterKind> adapter = core::AdapterKind::kPca;
+  core::AdapterOptions adapter_options;
+  FineTuneOptions finetune;
+
+  ClassifierConfig() : model_config(models::MomentSmallConfig()) {}
+};
+
+/// High-level "user-friendly" API: a foundation model + adapter + head bundle
+/// with an sklearn-like Fit / Predict / Evaluate surface. This is the object
+/// a downstream user adopts; the lower-level pieces stay available for
+/// research use.
+///
+/// After `Fit`, the classifier owns the fitted adapter, the trained head and
+/// the training-set normalization statistics, so `Predict` applies exactly
+/// the training-time preprocessing.
+class TsfmClassifier {
+ public:
+  /// Builds the pipeline: loads (or pretrains) the foundation model and
+  /// constructs the adapter.
+  static Result<TsfmClassifier> Create(const ClassifierConfig& config);
+
+  TsfmClassifier(TsfmClassifier&&) = default;
+  TsfmClassifier& operator=(TsfmClassifier&&) = default;
+
+  /// Fits adapter + head on `train` (and reports held-out accuracy on
+  /// `valid` if provided; otherwise training accuracy is reported).
+  Status Fit(const data::TimeSeriesDataset& train,
+             const data::TimeSeriesDataset* valid = nullptr);
+
+  /// Predicts class labels for a raw (N, T, D) batch.
+  Result<std::vector<int64_t>> Predict(const Tensor& x) const;
+
+  /// Accuracy on a labeled dataset.
+  Result<double> Evaluate(const data::TimeSeriesDataset& ds) const;
+
+  bool fitted() const { return fitted_; }
+  /// Metrics of the last Fit call. Requires fitted().
+  const FineTuneResult& last_fit_result() const { return last_result_; }
+  const models::FoundationModel& model() const { return *model_; }
+  /// Null if the pipeline was configured without an adapter.
+  const core::Adapter* adapter() const { return adapter_.get(); }
+
+  /// Persists the *fitted* pipeline state — adapter, trained head, and the
+  /// training-set normalization statistics — under `prefix` (three files:
+  /// `<prefix>.adapter` when an adapter is configured, `<prefix>.head`,
+  /// `<prefix>.stats`). The foundation-model weights are NOT duplicated;
+  /// they live in the checkpoint referenced by the config. Requires
+  /// fitted().
+  Status Save(const std::string& prefix) const;
+
+  /// Restores state written by `Save` into a classifier created with the
+  /// same configuration (same model family/config, adapter kind and D',
+  /// same number of classes). The pipeline is ready to Predict afterwards.
+  Status Load(const std::string& prefix, int64_t num_classes);
+
+ private:
+  TsfmClassifier() = default;
+
+  ClassifierConfig config_;
+  std::shared_ptr<models::FoundationModel> model_;
+  std::unique_ptr<core::Adapter> adapter_;
+  std::unique_ptr<models::ClassificationHead> head_;
+  data::ChannelStats stats_;
+  bool fitted_ = false;
+  FineTuneResult last_result_;
+};
+
+}  // namespace tsfm::finetune
+
+#endif  // TSFM_FINETUNE_CLASSIFIER_H_

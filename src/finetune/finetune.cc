@@ -1,0 +1,242 @@
+#include "finetune/finetune.h"
+
+#include <chrono>
+#include <memory>
+
+#include "optim/optim.h"
+#include "tensor/ops.h"
+
+namespace tsfm::finetune {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Argmax predictions of a logits matrix (N, C).
+std::vector<int64_t> Predict(const Tensor& logits) { return ArgMaxLast(logits); }
+
+// Trains a linear head on cached embeddings; returns final mean loss.
+double TrainHead(models::ClassificationHead* head,
+                 const Tensor& embeddings,  // (N, E)
+                 const std::vector<int64_t>& labels,
+                 const FineTuneOptions& options, Rng* rng) {
+  optim::AdamW opt(head->Parameters(), options.head_lr, 0.9f, 0.999f, 1e-8f,
+                   options.weight_decay);
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.head_epochs; ++epoch) {
+    auto batches =
+        data::MakeBatches(embeddings.dim(0), options.batch_size, rng);
+    double loss_sum = 0.0;
+    for (const auto& idx : batches) {
+      Tensor xb = TakeRows(embeddings, idx);
+      std::vector<int64_t> yb;
+      yb.reserve(idx.size());
+      for (int64_t i : idx) yb.push_back(labels[static_cast<size_t>(i)]);
+      ag::Var logits = head->Forward(ag::Constant(xb));
+      ag::Var loss = ag::CrossEntropy(logits, yb);
+      loss.Backward();
+      opt.Step();
+      opt.ZeroGrad();
+      head->ZeroGrad();
+      loss_sum += loss.value()[0];
+    }
+    last = loss_sum / static_cast<double>(batches.size());
+  }
+  return last;
+}
+
+double EvaluateOnEmbeddings(const models::ClassificationHead& head,
+                            const Tensor& embeddings,
+                            const data::TimeSeriesDataset& ds) {
+  ag::NoGradGuard guard;
+  ag::Var logits = head.Forward(ag::Constant(embeddings));
+  return data::Accuracy(Predict(logits.value()), ds);
+}
+
+}  // namespace
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kHeadOnly:
+      return "head_only";
+    case Strategy::kAdapterPlusHead:
+      return "adapter_plus_head";
+    case Strategy::kFullFineTune:
+      return "full_fine_tune";
+  }
+  return "unknown";
+}
+
+Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
+                    int64_t batch_size, uint64_t seed) {
+  ag::NoGradGuard guard;
+  Rng rng(seed);
+  nn::ForwardContext ctx{/*training=*/false, &rng};
+  const int64_t n = x.dim(0);
+  std::vector<Tensor> chunks;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min(n, start + batch_size);
+    Tensor xb = Slice(x, 0, start, end);
+    ag::Var emb = model.EncodeChannels(ag::Constant(xb), ctx);
+    chunks.push_back(emb.value());
+  }
+  return Concat(chunks, 0);
+}
+
+Result<FineTuneResult> FineTune(models::FoundationModel* model,
+                                core::Adapter* adapter,
+                                const data::TimeSeriesDataset& train,
+                                const data::TimeSeriesDataset& test,
+                                const FineTuneOptions& options) {
+  TSFM_RETURN_IF_ERROR(data::Validate(train));
+  Rng head_seed_rng(options.seed ^ 0x51A7E5ULL);
+  Rng head_rng = head_seed_rng.Fork();
+  models::ClassificationHead head(model->embedding_dim(), train.num_classes,
+                                  &head_rng);
+  return FineTuneWithHead(model, adapter, &head, train, test, options);
+}
+
+Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
+                                        core::Adapter* adapter,
+                                        models::ClassificationHead* head_ptr,
+                                        const data::TimeSeriesDataset& train,
+                                        const data::TimeSeriesDataset& test,
+                                        const FineTuneOptions& options) {
+  TSFM_RETURN_IF_ERROR(data::Validate(train));
+  TSFM_RETURN_IF_ERROR(data::Validate(test));
+  if (train.channels() != test.channels() ||
+      train.num_classes != test.num_classes) {
+    return Status::InvalidArgument("train/test splits are inconsistent");
+  }
+  TSFM_CHECK(head_ptr != nullptr);
+  models::ClassificationHead& head = *head_ptr;
+  const auto t_start = Clock::now();
+  FineTuneResult result;
+
+  // 1. Normalize with train statistics.
+  data::TimeSeriesDataset train_n = train;
+  data::TimeSeriesDataset test_n = test;
+  if (options.normalize) {
+    const data::ChannelStats stats = data::ComputeChannelStats(train);
+    train_n = data::NormalizeWith(train, stats);
+    test_n = data::NormalizeWith(test, stats);
+  }
+
+  // 2. Fit the adapter on the training split.
+  const auto t_adapter = Clock::now();
+  if (adapter != nullptr) {
+    TSFM_RETURN_IF_ERROR(adapter->Fit(train_n.x, train_n.y));
+  }
+  result.adapter_fit_seconds = SecondsSince(t_adapter);
+
+  Rng rng(options.seed ^ 0x51A7E5ULL);
+  (void)rng.Fork();  // head-init stream consumed by FineTune's wrapper
+
+  const bool learnable_adapter = adapter != nullptr && adapter->IsLearnable();
+  const bool encoder_in_loop =
+      options.strategy == Strategy::kFullFineTune || learnable_adapter;
+
+  const auto t_train = Clock::now();
+  if (!encoder_in_loop) {
+    // Embed-once fast path: static adapter (or none) + frozen encoder.
+    Tensor train_x = train_n.x;
+    Tensor test_x = test_n.x;
+    if (adapter != nullptr) {
+      TSFM_ASSIGN_OR_RETURN(train_x, adapter->Transform(train_n.x));
+      TSFM_ASSIGN_OR_RETURN(test_x, adapter->Transform(test_n.x));
+    }
+    Tensor train_emb = EmbedDataset(*model, train_x, options.batch_size,
+                                    options.seed + 1);
+    Tensor test_emb =
+        EmbedDataset(*model, test_x, options.batch_size, options.seed + 2);
+    result.final_loss = TrainHead(&head, train_emb, train_n.y, options, &rng);
+    result.train_seconds = SecondsSince(t_train);
+    result.train_accuracy = EvaluateOnEmbeddings(head, train_emb, train_n);
+    result.test_accuracy = EvaluateOnEmbeddings(head, test_emb, test_n);
+    result.total_seconds = SecondsSince(t_start);
+    return result;
+  }
+
+  // 3. Joint loop: encoder in the training graph (lcomb and/or full FT).
+  // Two parameter groups: the head keeps its (large) head_lr while the
+  // adapter/encoder train at the smaller joint_lr — a single small lr
+  // starves the randomly initialized head.
+  std::vector<ag::Var> slow_params;
+  if (learnable_adapter) {
+    for (auto& p : adapter->TrainableParameters()) slow_params.push_back(p);
+  }
+  if (options.strategy == Strategy::kFullFineTune) {
+    for (auto& p : model->Parameters()) slow_params.push_back(p);
+  }
+  std::vector<ag::Var> trainable = head.Parameters();
+  trainable.insert(trainable.end(), slow_params.begin(), slow_params.end());
+  optim::AdamW head_opt(head.Parameters(), options.head_lr, 0.9f, 0.999f,
+                        1e-8f, options.weight_decay);
+  std::unique_ptr<optim::AdamW> slow_opt;
+  if (!slow_params.empty()) {
+    slow_opt = std::make_unique<optim::AdamW>(slow_params, options.joint_lr,
+                                              0.9f, 0.999f, 1e-8f,
+                                              options.weight_decay);
+  }
+
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.joint_epochs; ++epoch) {
+    auto batches =
+        data::MakeBatches(train_n.size(), options.batch_size, &rng);
+    double loss_sum = 0.0;
+    for (const auto& idx : batches) {
+      Tensor xb = TakeRows(train_n.x, idx);
+      std::vector<int64_t> yb;
+      yb.reserve(idx.size());
+      for (int64_t i : idx) yb.push_back(train_n.y[static_cast<size_t>(i)]);
+      nn::ForwardContext ctx{/*training=*/true, &rng};
+      ag::Var input = ag::Constant(xb);
+      if (adapter != nullptr) input = adapter->TransformVar(input);
+      ag::Var emb = model->EncodeChannels(input, ctx);
+      ag::Var logits = head.Forward(emb);
+      ag::Var loss = ag::CrossEntropy(logits, yb);
+      loss.Backward();
+      optim::ClipGradNorm(trainable, 5.0f);
+      head_opt.Step();
+      if (slow_opt != nullptr) slow_opt->Step();
+      head_opt.ZeroGrad();
+      if (slow_opt != nullptr) slow_opt->ZeroGrad();
+      // Clear stray gradients on frozen parameters too.
+      model->ZeroGrad();
+      head.ZeroGrad();
+      loss_sum += loss.value()[0];
+    }
+    last = loss_sum / static_cast<double>(batches.size());
+  }
+  result.final_loss = last;
+  result.train_seconds = SecondsSince(t_train);
+
+  // 4. Evaluate end-to-end.
+  auto evaluate = [&](const data::TimeSeriesDataset& ds) -> Result<double> {
+    ag::NoGradGuard guard;
+    Rng eval_rng(options.seed + 99);
+    nn::ForwardContext ctx{/*training=*/false, &eval_rng};
+    std::vector<int64_t> preds;
+    preds.reserve(static_cast<size_t>(ds.size()));
+    for (int64_t start = 0; start < ds.size(); start += options.batch_size) {
+      const int64_t end = std::min(ds.size(), start + options.batch_size);
+      Tensor xb = Slice(ds.x, 0, start, end);
+      ag::Var input = ag::Constant(xb);
+      if (adapter != nullptr) input = adapter->TransformVar(input);
+      ag::Var emb = model->EncodeChannels(input, ctx);
+      ag::Var logits = head.Forward(emb);
+      for (int64_t p : Predict(logits.value())) preds.push_back(p);
+    }
+    return data::Accuracy(preds, ds);
+  };
+  TSFM_ASSIGN_OR_RETURN(result.train_accuracy, evaluate(train_n));
+  TSFM_ASSIGN_OR_RETURN(result.test_accuracy, evaluate(test_n));
+  result.total_seconds = SecondsSince(t_start);
+  return result;
+}
+
+}  // namespace tsfm::finetune

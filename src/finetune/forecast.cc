@@ -1,0 +1,114 @@
+#include "finetune/forecast.h"
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "optim/optim.h"
+#include "tensor/ops.h"
+
+namespace tsfm::finetune {
+
+namespace {
+
+// Embeds univariate contexts (B, T_ctx) -> (B, E) with the frozen encoder.
+Tensor EmbedContexts(const models::FoundationModel& model,
+                     const Tensor& contexts) {
+  ag::NoGradGuard guard;
+  nn::ForwardContext ctx{/*training=*/false, nullptr};
+  ag::Var tokens = model.EncodeSeries(ag::Constant(contexts), ctx);
+  return ag::MeanAxis(tokens, 1, /*keepdim=*/false).value();
+}
+
+Status CheckSeries(const Tensor& series, int64_t horizon,
+                   int64_t min_context) {
+  if (series.ndim() != 2) {
+    return Status::InvalidArgument("series must be (N, T)");
+  }
+  if (horizon <= 0) return Status::InvalidArgument("horizon must be positive");
+  if (series.dim(1) < horizon + min_context) {
+    return Status::InvalidArgument(
+        "series too short for the requested horizon");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> FitForecaster(const models::FoundationModel& model,
+                             ForecastingHead* head, const Tensor& series,
+                             const ForecastOptions& options) {
+  TSFM_RETURN_IF_ERROR(CheckSeries(series, options.horizon,
+                                   model.config().patch_len));
+  const int64_t n = series.dim(0);
+  const int64_t t = series.dim(1);
+  const int64_t ctx_len = t - options.horizon;
+  Tensor contexts = Slice(series, 1, 0, ctx_len);
+  Tensor targets = Slice(series, 1, ctx_len, t);  // (N, H)
+  Tensor embeddings = EmbedContexts(model, contexts);
+
+  optim::AdamW opt(head->Parameters(), options.lr);
+  Rng rng(options.seed ^ 0xF0CA57ULL);
+  double last = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    auto batches = data::MakeBatches(n, options.batch_size, &rng);
+    double loss_sum = 0.0;
+    for (const auto& idx : batches) {
+      Tensor xb = TakeRows(embeddings, idx);
+      Tensor yb = TakeRows(targets, idx);
+      ag::Var pred = head->Forward(ag::Constant(xb));
+      ag::Var loss = ag::MseLoss(pred, yb);
+      loss.Backward();
+      opt.Step();
+      opt.ZeroGrad();
+      loss_sum += loss.value()[0];
+    }
+    last = loss_sum / static_cast<double>(batches.size());
+  }
+  return last;
+}
+
+Result<Tensor> Forecast(const models::FoundationModel& model,
+                        const ForecastingHead& head, const Tensor& contexts) {
+  if (contexts.ndim() != 2) {
+    return Status::InvalidArgument("contexts must be (B, T_ctx)");
+  }
+  Tensor embeddings = EmbedContexts(model, contexts);
+  ag::NoGradGuard guard;
+  return head.Forward(ag::Constant(embeddings)).value();
+}
+
+Result<ForecastMetrics> EvaluateForecaster(const models::FoundationModel& model,
+                                           const ForecastingHead& head,
+                                           const Tensor& series) {
+  TSFM_RETURN_IF_ERROR(CheckSeries(series, head.horizon(),
+                                   model.config().patch_len));
+  const int64_t n = series.dim(0);
+  const int64_t t = series.dim(1);
+  const int64_t h = head.horizon();
+  const int64_t ctx_len = t - h;
+  Tensor contexts = Slice(series, 1, 0, ctx_len);
+  Tensor targets = Slice(series, 1, ctx_len, t);
+  TSFM_ASSIGN_OR_RETURN(Tensor pred, Forecast(model, head, contexts));
+
+  ForecastMetrics metrics;
+  for (int64_t i = 0; i < n; ++i) {
+    const float last_value = contexts.at({i, ctx_len - 1});
+    for (int64_t s = 0; s < h; ++s) {
+      const double truth = targets.at({i, s});
+      const double model_err = pred.at({i, s}) - truth;
+      const double naive_err = last_value - truth;
+      metrics.mse += model_err * model_err;
+      metrics.mae += std::fabs(model_err);
+      metrics.naive_mse += naive_err * naive_err;
+      metrics.naive_mae += std::fabs(naive_err);
+    }
+  }
+  const double count = static_cast<double>(n * h);
+  metrics.mse /= count;
+  metrics.mae /= count;
+  metrics.naive_mse /= count;
+  metrics.naive_mae /= count;
+  return metrics;
+}
+
+}  // namespace tsfm::finetune

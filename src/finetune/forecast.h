@@ -1,0 +1,73 @@
+#ifndef TSFM_FINETUNE_FORECAST_H_
+#define TSFM_FINETUNE_FORECAST_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "models/foundation_model.h"
+#include "nn/layers.h"
+
+namespace tsfm::finetune {
+
+/// Linear forecasting head: maps the pooled context embedding (B, E) to the
+/// next `horizon` values (B, H). Together with a frozen pretrained encoder
+/// this is the forecasting analogue of the classification head — the "more
+/// complex time series tasks" direction from the paper's conclusion.
+class ForecastingHead : public nn::Module {
+ public:
+  ForecastingHead(int64_t embedding_dim, int64_t horizon, Rng* rng)
+      : horizon_(horizon),
+        fc_(std::make_shared<nn::Linear>(embedding_dim, horizon, rng)) {
+    RegisterModule("fc", fc_);
+  }
+
+  ag::Var Forward(const ag::Var& embeddings) const {
+    return fc_->Forward(embeddings);
+  }
+
+  int64_t horizon() const { return horizon_; }
+
+ private:
+  int64_t horizon_;
+  std::shared_ptr<nn::Linear> fc_;
+};
+
+/// Hyper-parameters for head-only forecasting fine-tuning.
+struct ForecastOptions {
+  int64_t horizon = 8;
+  int64_t epochs = 40;
+  int64_t batch_size = 32;
+  float lr = 5e-2f;
+  uint64_t seed = 0;
+};
+
+/// Forecast quality metrics, reported against the last-value (persistence)
+/// naive baseline.
+struct ForecastMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double naive_mse = 0.0;  // persistence baseline
+  double naive_mae = 0.0;
+};
+
+/// Trains `head` (frozen encoder) to predict the last `horizon` steps of each
+/// series in `series` (N, T) from the preceding context. Returns the final
+/// training loss. The encoder embeds each context once (embed-once path).
+Result<double> FitForecaster(const models::FoundationModel& model,
+                             ForecastingHead* head, const Tensor& series,
+                             const ForecastOptions& options);
+
+/// Predicts `horizon` values following each context row (B, T_ctx).
+Result<Tensor> Forecast(const models::FoundationModel& model,
+                        const ForecastingHead& head, const Tensor& contexts);
+
+/// Splits each series of `series` (N, T) into (context, target-of-horizon),
+/// forecasts, and reports MSE/MAE against the truth plus the persistence
+/// baseline.
+Result<ForecastMetrics> EvaluateForecaster(const models::FoundationModel& model,
+                                           const ForecastingHead& head,
+                                           const Tensor& series);
+
+}  // namespace tsfm::finetune
+
+#endif  // TSFM_FINETUNE_FORECAST_H_

@@ -1,0 +1,74 @@
+#ifndef TSFM_LINALG_LINALG_H_
+#define TSFM_LINALG_LINALG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tsfm {
+
+/// Column means of a 2-D matrix `x` of shape (n, d); returns shape (d).
+Tensor ColumnMeans(const Tensor& x);
+
+/// Column standard deviations (population) of shape (d); entries below
+/// `epsilon` are clamped to `epsilon` so later divisions are safe.
+Tensor ColumnStds(const Tensor& x, float epsilon = 1e-8f);
+
+/// Sample covariance matrix of `x` (n, d) -> (d, d).
+/// If `center` is false this is the (uncentered) second-moment matrix
+/// X^T X / n, which is what truncated SVD diagonalizes.
+Tensor Covariance(const Tensor& x, bool center = true);
+
+/// Result of a symmetric eigendecomposition: `eigenvalues` (d) in descending
+/// order and `eigenvectors` (d, d) with eigenvectors in columns, such that
+/// A * V[:, i] = eigenvalues[i] * V[:, i].
+struct EigenResult {
+  Tensor eigenvalues;
+  Tensor eigenvectors;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix `a` (d, d).
+///
+/// Returns NumericalError if the sweep limit is exceeded before off-diagonal
+/// mass falls below tolerance, and InvalidArgument for non-square or
+/// non-symmetric (beyond `symmetry_tol`) input.
+Result<EigenResult> SymmetricEigen(const Tensor& a, int max_sweeps = 100,
+                                   float symmetry_tol = 1e-3f);
+
+/// Top-`k` eigenpairs of a symmetric positive semi-definite matrix `a`
+/// (d, d) via block subspace iteration with QR re-orthonormalization.
+/// Deterministic given `seed`. Preferred over full Jacobi when d is large
+/// and only a few leading components are needed (the adapter regime:
+/// k = D' << d). `eigenvectors` has shape (d, k).
+Result<EigenResult> TopKEigen(const Tensor& a, int64_t k, uint64_t seed = 42,
+                              int max_iters = 300, double tol = 1e-7);
+
+/// Truncated singular value decomposition of `x` (n, d):
+/// x ~= u * diag(s) * vt with u (n, k), s (k), vt (k, d).
+struct SvdResult {
+  Tensor u;
+  Tensor s;
+  Tensor vt;
+};
+
+/// Computes the top-`k` singular triplets of `x` via eigendecomposition of
+/// the d x d Gram matrix (suitable for d up to a few thousand, the regime of
+/// channel-reduction adapters). `x` is used uncentered, matching
+/// sklearn's TruncatedSVD.
+Result<SvdResult> TruncatedSvd(const Tensor& x, int64_t k);
+
+/// Householder QR of `a` (m, n), m >= n: returns Q (m, n) with orthonormal
+/// columns and R (n, n) upper-triangular such that a = Q * R.
+struct QrResult {
+  Tensor q;
+  Tensor r;
+};
+Result<QrResult> QrDecomposition(const Tensor& a);
+
+/// Frobenius-norm relative reconstruction error ||a - b||_F / ||a||_F.
+float RelativeError(const Tensor& a, const Tensor& b);
+
+}  // namespace tsfm
+
+#endif  // TSFM_LINALG_LINALG_H_

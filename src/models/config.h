@@ -1,0 +1,56 @@
+#ifndef TSFM_MODELS_CONFIG_H_
+#define TSFM_MODELS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tsfm::models {
+
+/// Architecture hyper-parameters of a (scaled-down) foundation model.
+/// The paper-scale dimensions used for V100 memory/time verdicts live in
+/// `tsfm::resources::PaperModelSpec`, not here.
+struct FoundationModelConfig {
+  std::string name;
+  int64_t d_model = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 4;
+  int64_t d_hidden = 128;
+  /// Patch length for tokenization (both models patch the time axis).
+  int64_t patch_len = 8;
+  /// Patch stride; == patch_len means non-overlapping (MOMENT), smaller
+  /// means overlapping patches (ViT).
+  int64_t patch_stride = 8;
+  float dropout = 0.1f;
+  /// Capacity of the positional-encoding table (max patches per series).
+  int64_t max_patches = 512;
+};
+
+/// Scaled-down stand-in for MOMENT (Goswami et al., 2024): non-overlapping
+/// patches, masked-reconstruction pretraining. The real model has 341 M
+/// parameters; this config keeps the architecture shape at CPU-trainable size.
+FoundationModelConfig MomentSmallConfig();
+
+/// Scaled-down stand-in for the paper's ViT model (Nu-Time-like):
+/// overlapping patches + statistical embeddings, InfoNCE pretraining.
+/// The real model has 8 M parameters.
+FoundationModelConfig VitSmallConfig();
+
+/// Extra-small configs used by unit tests.
+FoundationModelConfig MomentTestConfig();
+FoundationModelConfig VitTestConfig();
+
+/// Options controlling self-supervised pretraining.
+struct PretrainOptions {
+  int64_t corpus_size = 512;
+  int64_t series_length = 64;
+  int64_t batch_size = 32;
+  int64_t epochs = 3;
+  float lr = 1e-3f;
+  float mask_ratio = 0.3f;     // MOMENT: fraction of masked patches
+  float temperature = 0.2f;    // ViT: InfoNCE temperature
+  uint64_t seed = 7;
+};
+
+}  // namespace tsfm::models
+
+#endif  // TSFM_MODELS_CONFIG_H_

@@ -1,0 +1,31 @@
+#ifndef TSFM_MODELS_HEAD_H_
+#define TSFM_MODELS_HEAD_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace tsfm::models {
+
+/// Linear classification head mapping sample embeddings (B, E) to class
+/// logits (B, C) — the "head" in the paper's head-only and adapter+head
+/// fine-tuning strategies.
+class ClassificationHead : public nn::Module {
+ public:
+  ClassificationHead(int64_t embedding_dim, int64_t num_classes, Rng* rng)
+      : fc_(std::make_shared<nn::Linear>(embedding_dim, num_classes, rng)) {
+    RegisterModule("fc", fc_);
+  }
+
+  ag::Var Forward(const ag::Var& embeddings) const {
+    return fc_->Forward(embeddings);
+  }
+
+ private:
+  std::shared_ptr<nn::Linear> fc_;
+};
+
+}  // namespace tsfm::models
+
+#endif  // TSFM_MODELS_HEAD_H_

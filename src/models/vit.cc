@@ -1,0 +1,113 @@
+#include "models/vit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "data/corpus.h"
+#include "data/dataset.h"
+#include "optim/optim.h"
+#include "tensor/ops.h"
+
+namespace tsfm::models {
+
+VitModel::VitModel(const FoundationModelConfig& config, Rng* rng)
+    : FoundationModel(config) {
+  TSFM_CHECK_LE(config.patch_stride, config.patch_len)
+      << "ViT patches must overlap or tile";
+  TSFM_CHECK_GT(config.patch_stride, 0);
+  token_embed_ = std::make_shared<nn::Linear>(config.patch_len + 2,
+                                              config.d_model, rng);
+  encoder_ = std::make_shared<nn::TransformerEncoder>(
+      config.num_layers, config.d_model, config.num_heads, config.d_hidden,
+      config.dropout, rng);
+  projection_head_ =
+      std::make_shared<nn::Linear>(config.d_model, config.d_model, rng);
+  positions_ = std::make_unique<nn::PositionalEncoding>(config.max_patches,
+                                                        config.d_model);
+  RegisterModule("token_embed", token_embed_);
+  RegisterModule("encoder", encoder_);
+  RegisterModule("projection_head", projection_head_);
+}
+
+int64_t VitModel::NumPatches(int64_t t) const {
+  if (t < config_.patch_len) return 1;
+  return (t - config_.patch_len) / config_.patch_stride + 1;
+}
+
+ag::Var VitModel::PatchifyWithStats(const ag::Var& series) const {
+  TSFM_CHECK_EQ(series.ndim(), 2) << "PatchifyWithStats expects (B, T)";
+  const int64_t b = series.dim(0);
+  const int64_t t = series.dim(1);
+  const int64_t l = config_.patch_len;
+
+  ag::Var padded = series;
+  int64_t eff_t = t;
+  if (t < l) {  // right-pad short series to one full patch
+    padded = ag::ConcatOp({series, ag::Constant(Tensor::Zeros(Shape{b, l - t}))},
+                          1);
+    eff_t = l;
+  }
+  const int64_t p = (eff_t - l) / config_.patch_stride + 1;
+  std::vector<ag::Var> tokens;
+  tokens.reserve(static_cast<size_t>(p));
+  for (int64_t j = 0; j < p; ++j) {
+    const int64_t start = j * config_.patch_stride;
+    ag::Var patch = ag::SliceOp(padded, 1, start, start + l);  // (B, L)
+    ag::Var mean = ag::MeanAxis(patch, 1, /*keepdim=*/true);   // (B, 1)
+    ag::Var var =
+        ag::MeanAxis(ag::Square(ag::Sub(patch, mean)), 1, /*keepdim=*/true);
+    ag::Var std = ag::Sqrt(ag::AddScalar(var, 1e-6f));
+    ag::Var tok = ag::ConcatOp({patch, mean, std}, 1);  // (B, L+2)
+    tokens.push_back(ag::Reshape(tok, Shape{b, 1, l + 2}));
+  }
+  return ag::ConcatOp(tokens, 1);  // (B, P, L+2)
+}
+
+ag::Var VitModel::EncodeSeries(const ag::Var& series,
+                               const nn::ForwardContext& ctx) const {
+  ag::Var patches = PatchifyWithStats(series);
+  ag::Var tokens = token_embed_->Forward(patches);
+  tokens = positions_->Forward(tokens);
+  return encoder_->Forward(tokens, ctx);
+}
+
+Result<double> VitModel::Pretrain(const PretrainOptions& options) {
+  if (options.temperature <= 0.0f) {
+    return Status::InvalidArgument("temperature must be positive");
+  }
+  Rng rng(options.seed);
+  Tensor corpus = data::GeneratePretrainCorpus(
+      options.corpus_size, options.series_length, options.seed ^ 0xBEEF);
+  optim::AdamW opt(Parameters(), options.lr);
+
+  double last_epoch_loss = 0.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Rng epoch_rng = rng.Fork();
+    auto batches =
+        data::MakeBatches(corpus.dim(0), options.batch_size, &epoch_rng);
+    double loss_sum = 0.0;
+    for (const auto& batch_idx : batches) {
+      Tensor batch = TakeRows(corpus, batch_idx);
+      Tensor view1 = data::AugmentView(batch, &epoch_rng);
+      Tensor view2 = data::AugmentView(batch, &epoch_rng);
+      nn::ForwardContext ctx{/*training=*/true, &epoch_rng};
+      auto embed = [&](const Tensor& view) {
+        ag::Var tokens = EncodeSeries(ag::Constant(view), ctx);  // (B, P, E)
+        ag::Var pooled = ag::MeanAxis(tokens, 1, /*keepdim=*/false);
+        return projection_head_->Forward(pooled);  // (B, E)
+      };
+      ag::Var anchors = embed(view1);
+      ag::Var positives = embed(view2);
+      ag::Var loss = ag::InfoNceLoss(anchors, positives, options.temperature);
+      loss.Backward();
+      optim::ClipGradNorm(Parameters(), 1.0f);
+      opt.Step();
+      opt.ZeroGrad();
+      loss_sum += loss.value()[0];
+    }
+    last_epoch_loss = loss_sum / static_cast<double>(batches.size());
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace tsfm::models

@@ -1,0 +1,42 @@
+#ifndef TSFM_MODELS_VIT_H_
+#define TSFM_MODELS_VIT_H_
+
+#include <memory>
+
+#include "models/foundation_model.h"
+
+namespace tsfm::models {
+
+/// Scaled-down ViT-style foundation model following the paper's Nu-Time-
+/// inspired implementation (Appendix B.1): *overlapping* patches are
+/// extracted from the series, each patch is augmented with statistical
+/// embeddings (its mean and standard deviation) before linear projection,
+/// and a transformer encoder processes the resulting tokens. Pretraining is
+/// contrastive: a MoCo-style InfoNCE loss between two stochastic
+/// augmentations of the same series.
+class VitModel : public FoundationModel {
+ public:
+  VitModel(const FoundationModelConfig& config, Rng* rng);
+
+  ag::Var EncodeSeries(const ag::Var& series,
+                       const nn::ForwardContext& ctx) const override;
+
+  Result<double> Pretrain(const PretrainOptions& options) override;
+
+  /// Number of overlapping patches for a series of length `t`.
+  int64_t NumPatches(int64_t t) const;
+
+ private:
+  /// (B, T) -> (B, P, patch_len + 2): overlapping patch values concatenated
+  /// with their per-patch mean and std ("statistical embedding" tokens).
+  ag::Var PatchifyWithStats(const ag::Var& series) const;
+
+  std::shared_ptr<nn::Linear> token_embed_;
+  std::shared_ptr<nn::TransformerEncoder> encoder_;
+  std::shared_ptr<nn::Linear> projection_head_;  // contrastive head
+  std::unique_ptr<nn::PositionalEncoding> positions_;
+};
+
+}  // namespace tsfm::models
+
+#endif  // TSFM_MODELS_VIT_H_

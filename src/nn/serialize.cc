@@ -1,0 +1,96 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace tsfm::nn {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5453464D30303031ULL;  // "TSFM0001"
+
+void WriteU64(std::ofstream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& is, uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IoError("cannot open for writing: " + path);
+  const auto params = module.NamedParameters();
+  WriteU64(os, kMagic);
+  WriteU64(os, params.size());
+  for (const auto& [name, p] : params) {
+    WriteU64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& t = p.value();
+    WriteU64(os, static_cast<uint64_t>(t.ndim()));
+    for (int64_t d : t.shape()) WriteU64(os, static_cast<uint64_t>(d));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!os) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for reading: " + path);
+  uint64_t magic = 0, count = 0;
+  if (!ReadU64(is, &magic) || magic != kMagic) {
+    return Status::IoError("bad checkpoint magic in " + path);
+  }
+  if (!ReadU64(is, &count)) return Status::IoError("truncated checkpoint");
+
+  std::map<std::string, Tensor> records;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(is, &name_len)) return Status::IoError("truncated checkpoint");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t ndim = 0;
+    if (!ReadU64(is, &ndim)) return Status::IoError("truncated checkpoint");
+    Shape shape(ndim);
+    for (uint64_t d = 0; d < ndim; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(is, &dim)) return Status::IoError("truncated checkpoint");
+      shape[d] = static_cast<int64_t>(dim);
+    }
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.mutable_data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) return Status::IoError("truncated checkpoint data");
+    records.emplace(std::move(name), std::move(t));
+  }
+
+  auto params = module->NamedParameters();
+  if (params.size() != records.size()) {
+    return Status::InvalidArgument(
+        "checkpoint/module parameter count mismatch: file has " +
+        std::to_string(records.size()) + ", module has " +
+        std::to_string(params.size()));
+  }
+  for (auto& [name, p] : params) {
+    auto it = records.find(name);
+    if (it == records.end()) {
+      return Status::NotFound("parameter missing from checkpoint: " + name);
+    }
+    if (it->second.shape() != p.value().shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": file " +
+          ShapeToString(it->second.shape()) + " vs module " +
+          ShapeToString(p.value().shape()));
+    }
+    p.SetValue(it->second);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsfm::nn

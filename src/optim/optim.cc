@@ -1,0 +1,137 @@
+#include "optim/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace tsfm::optim {
+
+Optimizer::Optimizer(std::vector<ag::Var> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    TSFM_CHECK(p.defined() && p.requires_grad())
+        << "optimizer parameters must require grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Sgd::Step() {
+  ++step_count_;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    Tensor g = p.grad();
+    Tensor value = p.value().Clone();
+    float* pv = value.mutable_data();
+    float* pvel = velocity_[i].mutable_data();
+    const float* pg = g.data();
+    const int64_t n = value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = pg[j] + weight_decay_ * pv[j];
+      if (momentum_ > 0.0f) {
+        pvel[j] = momentum_ * pvel[j] + grad;
+        grad = pvel[j];
+      }
+      pv[j] -= lr_ * grad;
+    }
+    p.SetValue(value);
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float epsilon, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float t = static_cast<float>(step_count_);
+  const float bias1 = 1.0f - std::pow(beta1_, t);
+  const float bias2 = 1.0f - std::pow(beta2_, t);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    Tensor g = p.grad();
+    Tensor value = p.value().Clone();
+    float* pv = value.mutable_data();
+    float* pm = m_[i].mutable_data();
+    float* pvv = v_[i].mutable_data();
+    const float* pg = g.data();
+    const int64_t n = value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = pg[j];
+      if (!decoupled_) grad += weight_decay_ * pv[j];
+      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * grad;
+      pvv[j] = beta2_ * pvv[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = pm[j] / bias1;
+      const float vhat = pvv[j] / bias2;
+      float update = mhat / (std::sqrt(vhat) + epsilon_);
+      if (decoupled_) update += weight_decay_ * pv[j];
+      pv[j] -= lr_ * update;
+    }
+    p.SetValue(value);
+  }
+}
+
+AdamW::AdamW(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+             float epsilon, float weight_decay)
+    : Adam(std::move(params), lr, beta1, beta2, epsilon, weight_decay) {
+  decoupled_ = true;
+}
+
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
+  TSFM_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const auto& p : params) {
+    const Tensor g = p.grad();
+    const float n = Norm(g);
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const auto& p : params) {
+      if (!p.node()->has_grad) continue;
+      Tensor& g = p.node()->grad;
+      float* pg = g.mutable_data();
+      for (int64_t i = 0; i < g.numel(); ++i) pg[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+float CosineSchedule(int64_t step, int64_t total_steps, int64_t warmup_steps) {
+  TSFM_CHECK_GT(total_steps, 0);
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  }
+  const double progress =
+      static_cast<double>(step - warmup_steps) /
+      std::max<double>(1.0, static_cast<double>(total_steps - warmup_steps));
+  return static_cast<float>(0.5 * (1.0 + std::cos(M_PI * std::min(1.0, progress))));
+}
+
+}  // namespace tsfm::optim

@@ -1,0 +1,176 @@
+#include "resources/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tsfm::resources {
+
+int64_t PaperModelSpec::NumPatches() const {
+  if (patch_stride == patch_len) return padded_length / patch_len;
+  return (padded_length - patch_len) / patch_stride + 1;
+}
+
+PaperModelSpec MomentPaperSpec() {
+  PaperModelSpec s;
+  s.name = "MOMENT";
+  s.params = 341'000'000;
+  s.d_model = 1024;
+  s.num_layers = 24;
+  s.num_heads = 16;
+  s.d_hidden = 4096;
+  s.padded_length = 512;
+  s.patch_len = 8;
+  s.patch_stride = 8;  // 64 patches
+  s.train_batch = 16;
+  s.infer_batch = 1;
+  s.act_floats_per_token = 9.5;
+  s.full_ft_epochs = 80;
+  s.adapter_ft_epochs = 25;
+  return s;
+}
+
+PaperModelSpec VitPaperSpec() {
+  PaperModelSpec s;
+  s.name = "ViT";
+  s.params = 8'000'000;
+  s.d_model = 320;
+  s.num_layers = 6;
+  s.num_heads = 8;
+  s.d_hidden = 1280;
+  s.padded_length = 512;
+  s.patch_len = 8;
+  s.patch_stride = 4;  // 127 patches
+  s.train_batch = 64;
+  s.infer_batch = 1;
+  s.act_floats_per_token = 17.0;
+  s.full_ft_epochs = 60;
+  s.adapter_ft_epochs = 25;
+  return s;
+}
+
+GpuSpec V100Spec() {
+  return GpuSpec{/*memory_bytes=*/32.0 * (1ull << 30),
+                 /*throughput_flops=*/5e12,
+                 /*time_limit_seconds=*/7200.0};
+}
+
+const char* TrainRegimeName(TrainRegime regime) {
+  switch (regime) {
+    case TrainRegime::kEmbedOnceHeadOnly:
+      return "embed_once_head_only";
+    case TrainRegime::kAdapterPlusHeadLearnable:
+      return "adapter_plus_head_learnable";
+    case TrainRegime::kFullFineTune:
+      return "full_fine_tune";
+  }
+  return "unknown";
+}
+
+const char* VerdictString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk:
+      return "OK";
+    case Verdict::kCudaOutOfMemory:
+      return "COM";
+    case Verdict::kTimeout:
+      return "TO";
+  }
+  return "unknown";
+}
+
+double HeadTrainSeconds() { return 120.0; }
+
+ResourceEstimate EstimateRun(const PaperModelSpec& model, const GpuSpec& gpu,
+                             const Workload& workload, TrainRegime regime) {
+  TSFM_CHECK_GT(workload.channels, 0);
+  TSFM_CHECK_GT(workload.train_size, 0);
+  const double patches = static_cast<double>(model.NumPatches());
+  const double params = static_cast<double>(model.params);
+
+  ResourceEstimate est;
+  est.param_bytes = params * 4.0;
+
+  // Bytes of stored activations per token of the *training* graph.
+  const double act_bytes_per_token = model.act_floats_per_token *
+                                     static_cast<double>(model.d_model) *
+                                     static_cast<double>(model.num_layers) *
+                                     4.0;
+
+  const double train_batch =
+      static_cast<double>(std::min(model.train_batch, workload.train_size));
+  const double batch_tokens =
+      train_batch * static_cast<double>(workload.channels) * patches;
+
+  switch (regime) {
+    case TrainRegime::kEmbedOnceHeadOnly: {
+      // Inference streams one sample and one layer at a time.
+      const double infer_tokens = static_cast<double>(model.infer_batch) *
+                                  static_cast<double>(workload.channels) *
+                                  patches;
+      est.activation_bytes = infer_tokens * act_bytes_per_token /
+                             static_cast<double>(model.num_layers);
+      est.attention_bytes = static_cast<double>(model.infer_batch) *
+                            static_cast<double>(workload.channels) *
+                            static_cast<double>(model.num_heads) * patches *
+                            patches * 4.0;  // one layer resident
+      est.optimizer_bytes = 0.0;  // head optimizer state is negligible
+      const double embed_samples =
+          static_cast<double>(workload.train_size + workload.test_size);
+      const double embed_tokens =
+          embed_samples * static_cast<double>(workload.channels) * patches;
+      est.total_flops = 2.0 * params * embed_tokens;
+      est.total_seconds =
+          est.total_flops / gpu.throughput_flops + HeadTrainSeconds();
+      break;
+    }
+    case TrainRegime::kAdapterPlusHeadLearnable: {
+      // Gradients flow to the adapter: full training graph resident, but
+      // optimizer state only covers the adapter + head (negligible).
+      est.activation_bytes = batch_tokens * act_bytes_per_token;
+      est.attention_bytes = train_batch *
+                            static_cast<double>(workload.channels) *
+                            static_cast<double>(model.num_heads) * patches *
+                            patches * static_cast<double>(model.num_layers) *
+                            4.0;
+      est.optimizer_bytes = 0.0;
+      const double epoch_tokens = static_cast<double>(workload.train_size) *
+                                  static_cast<double>(workload.channels) *
+                                  patches;
+      est.total_flops = 6.0 * params * epoch_tokens *
+                        static_cast<double>(model.adapter_ft_epochs);
+      est.total_seconds = est.total_flops / gpu.throughput_flops;
+      break;
+    }
+    case TrainRegime::kFullFineTune: {
+      est.activation_bytes = batch_tokens * act_bytes_per_token;
+      est.attention_bytes = train_batch *
+                            static_cast<double>(workload.channels) *
+                            static_cast<double>(model.num_heads) * patches *
+                            patches * static_cast<double>(model.num_layers) *
+                            4.0;
+      est.optimizer_bytes = params * 12.0;  // AdamW grad + m + v
+      const double epoch_tokens = static_cast<double>(workload.train_size) *
+                                  static_cast<double>(workload.channels) *
+                                  patches;
+      est.total_flops = 6.0 * params * epoch_tokens *
+                        static_cast<double>(model.full_ft_epochs);
+      est.total_seconds = est.total_flops / gpu.throughput_flops;
+      break;
+    }
+  }
+
+  est.peak_memory_bytes = est.param_bytes + est.optimizer_bytes +
+                          est.activation_bytes + est.attention_bytes;
+  if (est.peak_memory_bytes > gpu.memory_bytes) {
+    est.verdict = Verdict::kCudaOutOfMemory;
+  } else if (est.total_seconds > gpu.time_limit_seconds) {
+    est.verdict = Verdict::kTimeout;
+  } else {
+    est.verdict = Verdict::kOk;
+  }
+  return est;
+}
+
+}  // namespace tsfm::resources

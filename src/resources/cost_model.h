@@ -1,0 +1,116 @@
+#ifndef TSFM_RESOURCES_COST_MODEL_H_
+#define TSFM_RESOURCES_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tsfm::resources {
+
+/// Architecture of a foundation model at *paper scale*, used to predict the
+/// memory/time behaviour the paper observed on a V100 (Table 1, Figure 1,
+/// Appendix C.5). These are the published model sizes, not our scaled-down
+/// CPU models.
+struct PaperModelSpec {
+  std::string name;
+  int64_t params;          // total parameter count
+  int64_t d_model;
+  int64_t num_layers;
+  int64_t num_heads;
+  int64_t d_hidden;
+  int64_t padded_length;   // inputs are padded/resized to this length
+  int64_t patch_len;
+  int64_t patch_stride;
+  int64_t train_batch;     // per-step fine-tuning batch size
+  int64_t infer_batch;     // batch used for embed-once inference
+  /// Activation floats stored per token per layer per d_model unit during
+  /// training (calibrated to the paper's observed COM boundary).
+  double act_floats_per_token;
+  int64_t full_ft_epochs;     // epochs of a full fine-tuning run
+  int64_t adapter_ft_epochs;  // epochs when training adapter+head (lcomb)
+
+  /// Number of patch tokens per channel (fixed by padding).
+  int64_t NumPatches() const;
+};
+
+/// MOMENT-large (341 M params; Goswami et al., 2024). Inputs are padded to
+/// 512 steps and split into 64 non-overlapping patches of 8.
+PaperModelSpec MomentPaperSpec();
+
+/// The paper's ViT model (8 M params): overlapping patches (len 8, stride 4)
+/// over inputs padded to 512 steps -> 127 tokens per channel.
+PaperModelSpec VitPaperSpec();
+
+/// GPU budget of the paper's testbed.
+struct GpuSpec {
+  double memory_bytes;        // 32 GB V100
+  double throughput_flops;    // effective sustained FLOP/s
+  double time_limit_seconds;  // 2-hour cap per run
+};
+GpuSpec V100Spec();
+
+/// How the model is fine-tuned, which determines what must stay resident in
+/// GPU memory and how many model passes the run performs.
+enum class TrainRegime {
+  /// Frozen encoder, embed the dataset once, train only the linear head.
+  /// Static adapters (PCA/SVD/Rand_Proj/VAR) also use this path.
+  kEmbedOnceHeadOnly,
+  /// Learnable adapter (lcomb) + head: every step runs forward AND backward
+  /// through the frozen encoder (gradients must reach the adapter).
+  kAdapterPlusHeadLearnable,
+  /// All weights trainable (optionally behind an adapter).
+  kFullFineTune,
+};
+
+const char* TrainRegimeName(TrainRegime regime);
+
+/// Shape of one fine-tuning workload.
+struct Workload {
+  int64_t train_size;
+  int64_t test_size;
+  /// Channels seen by the encoder (D, or D' when an adapter is in front).
+  int64_t channels;
+};
+
+/// Outcome of a simulated run.
+enum class Verdict { kOk, kCudaOutOfMemory, kTimeout };
+
+const char* VerdictString(Verdict verdict);
+
+/// Predicted resource usage of one fine-tuning run at paper scale.
+struct ResourceEstimate {
+  double param_bytes = 0;
+  double optimizer_bytes = 0;
+  double activation_bytes = 0;
+  double attention_bytes = 0;
+  double peak_memory_bytes = 0;
+  double total_flops = 0;
+  double total_seconds = 0;
+  Verdict verdict = Verdict::kOk;
+};
+
+/// Simulates fine-tuning `model` on `workload` under `regime` with `gpu`.
+///
+/// Memory model: parameters + optimizer state (12 B per trainable scalar)
+/// + training-graph activations (act_floats_per_token * d_model * layers *
+/// 4 B per token, over train_batch * channels * patches tokens) + attention
+/// score matrices (batch * channels * heads * patches^2 * layers * 4 B).
+/// Embed-once inference streams layer-by-layer with a batch of one sample,
+/// so only one layer of activations is resident.
+///
+/// Time model: 2 * params * tokens FLOPs per forward, 6 * params * tokens per
+/// training step (fwd+bwd), divided by sustained throughput; embed-once runs
+/// a single forward pass over train+test followed by a fixed head-training
+/// cost; COM is checked before TO (a run that cannot allocate never times
+/// out).
+ResourceEstimate EstimateRun(const PaperModelSpec& model, const GpuSpec& gpu,
+                             const Workload& workload, TrainRegime regime);
+
+/// Fixed wall-clock charged for fitting a static adapter + training the
+/// classification head on cached embeddings (seconds, paper scale).
+double HeadTrainSeconds();
+
+}  // namespace tsfm::resources
+
+#endif  // TSFM_RESOURCES_COST_MODEL_H_

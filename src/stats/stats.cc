@@ -1,0 +1,284 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tsfm::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double SampleStd(const std::vector<double>& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta function (Lentz's algorithm).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  TSFM_CHECK_GT(a, 0.0);
+  TSFM_CHECK_GT(b, 0.0);
+  TSFM_CHECK_GE(x, 0.0);
+  TSFM_CHECK_LE(x, 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoTailedP(double t, double df) {
+  TSFM_CHECK_GT(df, 0.0);
+  if (!std::isfinite(t)) return 0.0;
+  const double x = df / (df + t * t);
+  // P(|T| > |t|) = I_x(df/2, 1/2).
+  return std::clamp(RegularizedIncompleteBeta(df / 2.0, 0.5, x), 0.0, 1.0);
+}
+
+Result<WelchResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    return Status::InvalidArgument(
+        "WelchTTest needs at least two observations per sample");
+  }
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  const double sa = SampleStd(a);
+  const double sb = SampleStd(b);
+  const double va = sa * sa / na;
+  const double vb = sb * sb / nb;
+  const double denom = std::sqrt(va + vb);
+  WelchResult result{};
+  if (denom < 1e-300) {
+    // Identical (or both zero-variance) samples: no evidence of difference
+    // if means agree, total evidence otherwise.
+    result.t_statistic = ma == mb ? 0.0 : std::numeric_limits<double>::infinity();
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.p_value = ma == mb ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = (ma - mb) / denom;
+  result.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  result.p_value =
+      StudentTTwoTailedP(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+std::vector<std::vector<double>> PairwisePValueMatrix(
+    const std::vector<std::vector<double>>& methods) {
+  const size_t m = methods.size();
+  std::vector<std::vector<double>> out(
+      m, std::vector<double>(m, std::numeric_limits<double>::quiet_NaN()));
+  for (size_t i = 0; i < m; ++i) {
+    out[i][i] = 1.0;
+    for (size_t j = i + 1; j < m; ++j) {
+      auto r = WelchTTest(methods[i], methods[j]);
+      if (r.ok()) {
+        out[i][j] = r->p_value;
+        out[j][i] = r->p_value;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> RankDescending(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return values[a] > values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& per_dataset) {
+  if (per_dataset.empty()) return {};
+  const size_t m = per_dataset[0].size();
+  std::vector<double> sum(m, 0.0);
+  for (const auto& dataset : per_dataset) {
+    TSFM_CHECK_EQ(dataset.size(), m);
+    const std::vector<double> ranks = RankDescending(dataset);
+    for (size_t i = 0; i < m; ++i) sum[i] += ranks[i];
+  }
+  for (double& s : sum) s /= static_cast<double>(per_dataset.size());
+  return sum;
+}
+
+std::string FormatMeanStd(const std::vector<double>& values) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f+-%.3f", Mean(values),
+                SampleStd(values));
+  return buf;
+}
+
+namespace {
+
+// Series expansion of P(a, x), valid for x < a + 1.
+double LowerGammaSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1.
+double UpperGammaContinuedFraction(double a, double x) {
+  constexpr double kFpMin = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedLowerGamma(double a, double x) {
+  TSFM_CHECK_GT(a, 0.0);
+  TSFM_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return LowerGammaSeries(a, x);
+  return 1.0 - UpperGammaContinuedFraction(a, x);
+}
+
+double ChiSquareUpperTailP(double statistic, double df) {
+  TSFM_CHECK_GT(df, 0.0);
+  if (statistic <= 0.0) return 1.0;
+  return std::clamp(1.0 - RegularizedLowerGamma(df / 2.0, statistic / 2.0),
+                    0.0, 1.0);
+}
+
+Result<FriedmanResult> FriedmanTest(
+    const std::vector<std::vector<double>>& per_dataset) {
+  const size_t n = per_dataset.size();
+  if (n < 2) return Status::InvalidArgument("FriedmanTest needs >= 2 datasets");
+  const size_t k = per_dataset[0].size();
+  if (k < 2) return Status::InvalidArgument("FriedmanTest needs >= 2 methods");
+  for (const auto& row : per_dataset) {
+    if (row.size() != k) {
+      return Status::InvalidArgument("ragged accuracy matrix");
+    }
+  }
+  FriedmanResult result;
+  result.average_ranks = AverageRanks(per_dataset);
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  double sum_r2 = 0.0;
+  for (double r : result.average_ranks) sum_r2 += r * r;
+  result.chi_square =
+      12.0 * dn / (dk * (dk + 1.0)) * (sum_r2 - dk * (dk + 1.0) * (dk + 1.0) / 4.0);
+  // Ties deflate the statistic slightly; the untied formula is the standard
+  // approximation reported in TSC papers.
+  result.chi_square = std::max(0.0, result.chi_square);
+  result.degrees_of_freedom = dk - 1.0;
+  result.p_value =
+      ChiSquareUpperTailP(result.chi_square, result.degrees_of_freedom);
+  return result;
+}
+
+Result<double> NemenyiCriticalDifference(int64_t num_methods,
+                                         int64_t num_datasets) {
+  if (num_datasets < 2) {
+    return Status::InvalidArgument("need >= 2 datasets");
+  }
+  // q_0.05 values of the studentized range statistic / sqrt(2) for
+  // k = 2..10 (Demsar, 2006, Table 5a).
+  static const double kQ05[] = {0.0,   0.0,   1.960, 2.343, 2.569, 2.728,
+                                2.850, 2.949, 3.031, 3.102, 3.164};
+  if (num_methods < 2 || num_methods > 10) {
+    return Status::InvalidArgument(
+        "Nemenyi table covers 2..10 methods, got " +
+        std::to_string(num_methods));
+  }
+  const double k = static_cast<double>(num_methods);
+  const double n = static_cast<double>(num_datasets);
+  return kQ05[num_methods] * std::sqrt(k * (k + 1.0) / (6.0 * n));
+}
+
+}  // namespace tsfm::stats

@@ -1,0 +1,551 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace tsfm {
+
+namespace {
+
+// Row-major strides for `shape`.
+std::vector<int64_t> Strides(const Shape& shape) {
+  std::vector<int64_t> s(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    s[i] = s[i + 1] * shape[i + 1];
+  }
+  return s;
+}
+
+// Strides for reading `shape` as if broadcast to `out_shape` (0 stride on
+// broadcast dims). `shape` is right-aligned against `out_shape`.
+std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  const std::vector<int64_t> in_strides = Strides(shape);
+  std::vector<int64_t> out(out_shape.size(), 0);
+  const int64_t offset =
+      static_cast<int64_t>(out_shape.size()) - static_cast<int64_t>(shape.size());
+  for (size_t i = 0; i < shape.size(); ++i) {
+    const size_t oi = static_cast<size_t>(offset) + i;
+    if (shape[i] == out_shape[oi]) {
+      out[oi] = in_strides[i];
+    } else {
+      TSFM_CHECK_EQ(shape[i], 1)
+          << "broadcast mismatch " << ShapeToString(shape) << " vs "
+          << ShapeToString(out_shape);
+      out[oi] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  if (a.shape() == b.shape()) {  // fast path
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const auto so = Strides(out_shape);
+  const int64_t n = out.numel();
+  const int64_t nd = static_cast<int64_t>(out_shape.size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  // Fast path: identical shapes except `b` broadcast along trailing axis run
+  // (common bias-add pattern) is handled by the generic loop below; the index
+  // decomposition is cheap relative to float ops for our sizes.
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t ia = 0, ib = 0, rem = i;
+    for (int64_t d = 0; d < nd; ++d) {
+      const int64_t idx = rem / so[d];
+      rem -= idx * so[d];
+      ia += idx * sa[d];
+      ib += idx * sb[d];
+    }
+    po[i] = f(pa[ia], pb[ib]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& t, F f) {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* po = out.mutable_data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(p[i]);
+  return out;
+}
+
+// Collapses a shape into (outer, axis_len, inner) around `axis`.
+void SplitAroundAxis(const Shape& shape, int64_t axis, int64_t* outer,
+                     int64_t* len, int64_t* inner) {
+  const int64_t nd = static_cast<int64_t>(shape.size());
+  TSFM_CHECK_GE(axis, 0);
+  TSFM_CHECK_LT(axis, nd);
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < axis; ++i) *outer *= shape[i];
+  *len = shape[axis];
+  for (int64_t i = axis + 1; i < nd; ++i) *inner *= shape[i];
+}
+
+int64_t NormalizeAxis(int64_t axis, int64_t ndim) {
+  if (axis < 0) axis += ndim;
+  TSFM_CHECK_GE(axis, 0);
+  TSFM_CHECK_LT(axis, ndim);
+  return axis;
+}
+
+Shape ReducedShape(const Shape& shape, int64_t axis, bool keepdim) {
+  Shape out = shape;
+  if (keepdim) {
+    out[static_cast<size_t>(axis)] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ShapesBroadcastable(const Shape& a, const Shape& b) {
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  TSFM_CHECK(ShapesBroadcastable(a, b))
+      << ShapeToString(a) << " vs " << ShapeToString(b);
+  const size_t n = std::max(a.size(), b.size());
+  Shape out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    out[n - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  TSFM_CHECK(ShapesBroadcastable(t.shape(), target));
+  // Sum along all axes where target (right-aligned) is 1 or missing.
+  Tensor cur = t;
+  // First, sum away leading extra dims.
+  while (cur.ndim() > static_cast<int64_t>(target.size())) {
+    cur = Sum(cur, 0, /*keepdim=*/false);
+  }
+  for (int64_t d = 0; d < cur.ndim(); ++d) {
+    if (target[static_cast<size_t>(d)] == 1 && cur.dim(d) != 1) {
+      cur = Sum(cur, d, /*keepdim=*/true);
+    }
+  }
+  TSFM_CHECK(cur.shape() == target)
+      << "cannot reduce " << ShapeToString(t.shape()) << " to "
+      << ShapeToString(target);
+  return cur;
+}
+
+Tensor Neg(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return std::sqrt(x); });
+}
+Tensor Tanh(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Gelu(const Tensor& t) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  return UnaryOp(t, [](float x) {
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+  });
+}
+Tensor Abs(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return std::fabs(x); });
+}
+Tensor Square(const Tensor& t) {
+  return UnaryOp(t, [](float x) { return x * x; });
+}
+Tensor Scale(const Tensor& t, float s) {
+  return UnaryOp(t, [s](float x) { return x * s; });
+}
+Tensor AddScalar(const Tensor& t, float s) {
+  return UnaryOp(t, [s](float x) { return x + s; });
+}
+Tensor Pow(const Tensor& t, float p) {
+  return UnaryOp(t, [p](float x) { return std::pow(x, p); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TSFM_CHECK_GE(a.ndim(), 2);
+  TSFM_CHECK_GE(b.ndim(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t k2 = b.dim(-2);
+  const int64_t n = b.dim(-1);
+  TSFM_CHECK_EQ(k, k2) << "matmul inner dims " << ShapeToString(a.shape())
+                       << " x " << ShapeToString(b.shape());
+
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  const Shape batch = BroadcastShapes(a_batch, b_batch);
+  const int64_t nbatch = NumElements(batch);
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  const auto sa = BroadcastStrides(a_batch, batch);
+  const auto sb = BroadcastStrides(b_batch, batch);
+  const auto sbatch = Strides(batch);
+  const int64_t nd = static_cast<int64_t>(batch.size());
+
+  const float* pa0 = a.data();
+  const float* pb0 = b.data();
+  float* po0 = out.mutable_data();
+
+  for (int64_t batch_idx = 0; batch_idx < nbatch; ++batch_idx) {
+    int64_t ia = 0, ib = 0, rem = batch_idx;
+    for (int64_t d = 0; d < nd; ++d) {
+      const int64_t idx = rem / sbatch[d];
+      rem -= idx * sbatch[d];
+      ia += idx * sa[d];
+      ib += idx * sb[d];
+    }
+    const float* pa = pa0 + ia * m * k;
+    const float* pb = pb0 + ib * k * n;
+    float* po = po0 + batch_idx * m * n;
+    // i-k-j loop order: cache-friendly for row-major operands.
+    for (int64_t i = 0; i < m; ++i) {
+      float* prow = po + i * n;
+      std::fill(prow, prow + n, 0.0f);
+      const float* arow = pa + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) prow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& t) {
+  std::vector<int64_t> perm(t.ndim());
+  for (int64_t i = 0; i < t.ndim(); ++i) perm[static_cast<size_t>(i)] = i;
+  TSFM_CHECK_GE(t.ndim(), 2);
+  std::swap(perm[perm.size() - 1], perm[perm.size() - 2]);
+  return Permute(t, perm);
+}
+
+Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
+  const int64_t nd = t.ndim();
+  TSFM_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
+  std::vector<bool> seen(static_cast<size_t>(nd), false);
+  Shape out_shape(static_cast<size_t>(nd));
+  for (int64_t i = 0; i < nd; ++i) {
+    const int64_t p = perm[static_cast<size_t>(i)];
+    TSFM_CHECK_GE(p, 0);
+    TSFM_CHECK_LT(p, nd);
+    TSFM_CHECK(!seen[static_cast<size_t>(p)]) << "perm repeats axis " << p;
+    seen[static_cast<size_t>(p)] = true;
+    out_shape[static_cast<size_t>(i)] = t.dim(p);
+  }
+  Tensor out(out_shape);
+  const auto in_strides = Strides(t.shape());
+  const auto out_strides = Strides(out_shape);
+  const int64_t n = t.numel();
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t rem = i;
+    int64_t src = 0;
+    for (int64_t d = 0; d < nd; ++d) {
+      const int64_t idx = rem / out_strides[static_cast<size_t>(d)];
+      rem -= idx * out_strides[static_cast<size_t>(d)];
+      src += idx * in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
+    }
+    po[i] = pi[src];
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t end) {
+  const int64_t nd = t.ndim();
+  axis = NormalizeAxis(axis, nd);
+  const int64_t len = t.dim(axis);
+  TSFM_CHECK_GE(start, 0);
+  TSFM_CHECK_LE(end, len);
+  TSFM_CHECK_LE(start, end);
+  int64_t outer, alen, inner;
+  SplitAroundAxis(t.shape(), axis, &outer, &alen, &inner);
+  Shape out_shape = t.shape();
+  out_shape[static_cast<size_t>(axis)] = end - start;
+  Tensor out(out_shape);
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  const int64_t span = (end - start) * inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pi + (o * alen + start) * inner;
+    std::copy(src, src + span, po + o * span);
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  TSFM_CHECK(!parts.empty());
+  const int64_t nd = parts[0].ndim();
+  axis = NormalizeAxis(axis, nd);
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    TSFM_CHECK_EQ(p.ndim(), nd);
+    for (int64_t d = 0; d < nd; ++d) {
+      if (d != axis) {
+        TSFM_CHECK_EQ(p.dim(d), parts[0].dim(d));
+      }
+    }
+    total += p.dim(axis);
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(axis)] = total;
+  Tensor out(out_shape);
+  int64_t outer, alen, inner;
+  SplitAroundAxis(out_shape, axis, &outer, &alen, &inner);
+  float* po = out.mutable_data();
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t plen = p.dim(axis);
+    const float* pi = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pi + o * plen * inner, pi + (o + 1) * plen * inner,
+                po + (o * alen + offset) * inner);
+    }
+    offset += plen;
+  }
+  return out;
+}
+
+Tensor TakeRows(const Tensor& t, const std::vector<int64_t>& rows) {
+  TSFM_CHECK_GE(t.ndim(), 1);
+  const int64_t n0 = t.dim(0);
+  const int64_t inner = t.numel() / std::max<int64_t>(n0, 1);
+  Shape out_shape = t.shape();
+  out_shape[0] = static_cast<int64_t>(rows.size());
+  Tensor out(out_shape);
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const int64_t src = rows[r];
+    TSFM_CHECK_GE(src, 0);
+    TSFM_CHECK_LT(src, n0);
+    std::copy(pi + src * inner, pi + (src + 1) * inner,
+              po + static_cast<int64_t>(r) * inner);
+  }
+  return out;
+}
+
+float SumAll(const Tensor& t) {
+  // Kahan summation: the reductions feed statistics (mean/variance) where
+  // naive accumulation in float32 loses precision for large tensors.
+  double sum = 0.0;
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) sum += p[i];
+  return static_cast<float>(sum);
+}
+
+float MeanAll(const Tensor& t) {
+  TSFM_CHECK_GT(t.numel(), 0);
+  return SumAll(t) / static_cast<float>(t.numel());
+}
+
+float MaxAll(const Tensor& t) {
+  TSFM_CHECK_GT(t.numel(), 0);
+  const float* p = t.data();
+  return *std::max_element(p, p + t.numel());
+}
+
+float MinAll(const Tensor& t) {
+  TSFM_CHECK_GT(t.numel(), 0);
+  const float* p = t.data();
+  return *std::min_element(p, p + t.numel());
+}
+
+Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, t.ndim());
+  int64_t outer, len, inner;
+  SplitAroundAxis(t.shape(), axis, &outer, &len, &inner);
+  Tensor out(ReducedShape(t.shape(), axis, keepdim));
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  std::fill(po, po + out.numel(), 0.0f);
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t l = 0; l < len; ++l) {
+      const float* src = pi + (o * len + l) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& t, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, t.ndim());
+  const float inv = 1.0f / static_cast<float>(t.dim(axis));
+  return Scale(Sum(t, axis, keepdim), inv);
+}
+
+Tensor Variance(const Tensor& t, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, t.ndim());
+  Tensor mu = Mean(t, axis, /*keepdim=*/true);
+  Tensor centered = Sub(t, mu);
+  Tensor var = Mean(Square(centered), axis, keepdim);
+  return var;
+}
+
+Tensor MaxAlong(const Tensor& t, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, t.ndim());
+  int64_t outer, len, inner;
+  SplitAroundAxis(t.shape(), axis, &outer, &len, &inner);
+  TSFM_CHECK_GT(len, 0);
+  Tensor out(ReducedShape(t.shape(), axis, keepdim));
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = pi[(o * len) * inner + i];
+      for (int64_t l = 1; l < len; ++l) {
+        best = std::max(best, pi[(o * len + l) * inner + i]);
+      }
+      po[o * inner + i] = best;
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgMaxLast(const Tensor& t) {
+  TSFM_CHECK_GE(t.ndim(), 1);
+  const int64_t len = t.dim(-1);
+  const int64_t outer = t.numel() / len;
+  std::vector<int64_t> out(static_cast<size_t>(outer));
+  const float* p = t.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* row = p + o * len;
+    out[static_cast<size_t>(o)] =
+        std::max_element(row, row + len) - row;
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& t) {
+  TSFM_CHECK_GE(t.ndim(), 1);
+  const int64_t len = t.dim(-1);
+  const int64_t outer = t.numel() / len;
+  Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* row = pi + o * len;
+    float* orow = po + o * len;
+    const float mx = *std::max_element(row, row + len);
+    float denom = 0.0f;
+    for (int64_t i = 0; i < len; ++i) {
+      orow[i] = std::exp(row[i] - mx);
+      denom += orow[i];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t i = 0; i < len; ++i) orow[i] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& t) {
+  TSFM_CHECK_GE(t.ndim(), 1);
+  const int64_t len = t.dim(-1);
+  const int64_t outer = t.numel() / len;
+  Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* row = pi + o * len;
+    float* orow = po + o * len;
+    const float mx = *std::max_element(row, row + len);
+    float denom = 0.0f;
+    for (int64_t i = 0; i < len; ++i) denom += std::exp(row[i] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int64_t i = 0; i < len; ++i) orow[i] = row[i] - log_denom;
+  }
+  return out;
+}
+
+float Norm(const Tensor& t) {
+  double s = 0.0;
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(s));
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  TSFM_CHECK(a.shape() == b.shape());
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  return MaxAbsDiff(a, b) <= atol;
+}
+
+}  // namespace tsfm

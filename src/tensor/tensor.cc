@@ -1,0 +1,160 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace tsfm {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TSFM_CHECK_GE(d, 0) << "negative dimension in shape";
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(NumElements(shape_)),
+      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)),
+      numel_(NumElements(shape_)),
+      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+  TSFM_CHECK_EQ(numel_, static_cast<int64_t>(data_->size()))
+      << "value count does not match shape " << ShapeToString(shape_);
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape{}};
+  (*t.data_)[0] = value;
+  return t;
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::RandN(Shape shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  rng->FillNormal(t.mutable_data(), static_cast<size_t>(t.numel()), stddev);
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  rng->FillUniform(t.mutable_data(), static_cast<size_t>(t.numel()), lo, hi);
+  return t;
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) t.mutable_data()[i * n + i] = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t.mutable_data()[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t d) const {
+  const int64_t nd = ndim();
+  if (d < 0) d += nd;
+  TSFM_CHECK_GE(d, 0);
+  TSFM_CHECK_LT(d, nd);
+  return shape_[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  TSFM_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    TSFM_CHECK_GE(i, 0);
+    TSFM_CHECK_LT(i, shape_[d]);
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  // Resolve a single inferred (-1) dimension.
+  int64_t inferred_at = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      TSFM_CHECK_EQ(inferred_at, -1) << "at most one -1 dimension";
+      inferred_at = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (inferred_at >= 0) {
+    TSFM_CHECK_GT(known, 0);
+    TSFM_CHECK_EQ(numel_ % known, 0)
+        << "cannot infer dimension for " << ShapeToString(new_shape);
+    new_shape[static_cast<size_t>(inferred_at)] = numel_ / known;
+  }
+  TSFM_CHECK_EQ(NumElements(new_shape), numel_)
+      << "reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t(shape_, *data_);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t n = std::min(numel_, max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << (*data_)[static_cast<size_t>(i)];
+  }
+  if (numel_ > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tsfm

@@ -1,0 +1,112 @@
+#ifndef TSFM_TENSOR_TENSOR_H_
+#define TSFM_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tsfm {
+
+/// Shape of a tensor; an empty shape denotes a scalar.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by `shape` (1 for a scalar).
+int64_t NumElements(const Shape& shape);
+
+/// Returns a human-readable form such as "[2, 3, 5]".
+std::string ShapeToString(const Shape& shape);
+
+/// Dense float32 tensor with row-major contiguous storage.
+///
+/// `Tensor` has shared-buffer value semantics: copying a `Tensor` is cheap and
+/// aliases the same storage (like `torch.Tensor`). Operations in
+/// `tensor/ops.h` allocate fresh outputs; in-place mutation is restricted to
+/// explicit accessors (`mutable_data`, `at`). All shapes are static; there is
+/// no stride support — `Reshape` is free, other layout changes copy.
+class Tensor {
+ public:
+  /// Creates an empty (0-element, shape `[0]`) tensor.
+  Tensor();
+
+  /// Creates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Creates a tensor wrapping a copy of `values`; requires
+  /// `values.size() == NumElements(shape)`.
+  Tensor(Shape shape, std::vector<float> values);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Scalar (0-dim) tensor holding `value`.
+  static Tensor Scalar(float value);
+  /// Tensor of the given shape filled with `value`.
+  static Tensor Full(Shape shape, float value);
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  /// I.i.d. N(0, stddev^2) entries drawn from `rng`.
+  static Tensor RandN(Shape shape, Rng* rng, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor RandUniform(Shape shape, Rng* rng, float lo, float hi);
+  /// Identity matrix of size n x n.
+  static Tensor Eye(int64_t n);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor Arange(int64_t n);
+
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t numel() const { return numel_; }
+  /// Size of dimension `d`; negative `d` counts from the end.
+  int64_t dim(int64_t d) const;
+
+  const float* data() const { return data_->data(); }
+  float* mutable_data() { return data_->data(); }
+
+  /// Element access by flat row-major index.
+  float operator[](int64_t i) const {
+    TSFM_CHECK_GE(i, 0);
+    TSFM_CHECK_LT(i, numel_);
+    return (*data_)[static_cast<size_t>(i)];
+  }
+
+  /// Mutable element access by multi-dimensional index.
+  float& at(std::initializer_list<int64_t> idx);
+  /// Const element access by multi-dimensional index.
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Returns a tensor sharing this storage but viewed with `new_shape`
+  /// (element count must match). A dimension of -1 is inferred.
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Deep copy with fresh storage.
+  Tensor Clone() const;
+
+  /// True if this and `other` alias the same storage.
+  bool SharesStorageWith(const Tensor& other) const {
+    return data_ == other.data_;
+  }
+
+  /// Fills all elements with `value`.
+  void Fill(float value);
+
+  /// Compact preview for debugging (first few elements).
+  std::string ToString(int64_t max_elements = 16) const;
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  Shape shape_;
+  int64_t numel_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace tsfm
+
+#endif  // TSFM_TENSOR_TENSOR_H_

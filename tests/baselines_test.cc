@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "baselines/rocket.h"
+#include "data/uea_like.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+using baselines::RocketClassifier;
+using baselines::RocketConfig;
+
+data::DatasetPair EasyProblem(uint64_t seed = 1) {
+  data::UeaDatasetSpec spec{"rocket_toy", "rt", 60, 40, 6, 40, 2, 3};
+  return data::GenerateUeaLike(spec, seed, data::GeneratorCaps{});
+}
+
+RocketConfig QuickConfig() {
+  RocketConfig config;
+  config.num_kernels = 120;
+  config.epochs = 40;
+  config.seed = 3;
+  return config;
+}
+
+TEST(RocketTest, LearnsEasyProblem) {
+  auto pair = EasyProblem();
+  RocketClassifier rocket(QuickConfig());
+  ASSERT_TRUE(rocket.Fit(pair.train).ok());
+  auto acc = rocket.Evaluate(pair.test);
+  ASSERT_TRUE(acc.ok()) << acc.status().ToString();
+  EXPECT_GT(*acc, 0.65) << "chance is 0.5";
+}
+
+TEST(RocketTest, FeatureShapeAndRange) {
+  auto pair = EasyProblem(2);
+  RocketConfig config = QuickConfig();
+  config.num_kernels = 50;
+  RocketClassifier rocket(config);
+  ASSERT_TRUE(rocket.Fit(pair.train).ok());
+  auto features = rocket.ExtractFeatures(pair.test.x);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->shape(), (Shape{pair.test.size(), 100}));
+  // PPV features (even columns) are proportions in [0, 1].
+  for (int64_t i = 0; i < features->dim(0); ++i) {
+    for (int64_t j = 0; j < features->dim(1); j += 2) {
+      const float ppv = features->at({i, j});
+      EXPECT_GE(ppv, 0.0f);
+      EXPECT_LE(ppv, 1.0f);
+    }
+  }
+}
+
+TEST(RocketTest, DeterministicPerSeed) {
+  auto pair = EasyProblem(3);
+  RocketClassifier a(QuickConfig()), b(QuickConfig());
+  ASSERT_TRUE(a.Fit(pair.train).ok());
+  ASSERT_TRUE(b.Fit(pair.train).ok());
+  auto pa = a.Predict(pair.test);
+  auto pb = b.Predict(pair.test);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(*pa, *pb);
+}
+
+TEST(RocketTest, ErrorsBeforeFitAndOnBadInput) {
+  RocketClassifier rocket(QuickConfig());
+  EXPECT_FALSE(rocket.fitted());
+  auto pair = EasyProblem(4);
+  EXPECT_FALSE(rocket.Predict(pair.test).ok());
+  EXPECT_FALSE(rocket.ExtractFeatures(pair.test.x).ok());
+
+  ASSERT_TRUE(rocket.Fit(pair.train).ok());
+  // Channel mismatch.
+  Tensor wrong(Shape{2, 40, 9});
+  EXPECT_FALSE(rocket.ExtractFeatures(wrong).ok());
+  // Not 3-D.
+  EXPECT_FALSE(rocket.ExtractFeatures(Tensor(Shape{2, 40})).ok());
+}
+
+TEST(RocketTest, RejectsTooShortSeries) {
+  data::UeaDatasetSpec spec{"short", "s", 10, 5, 3, 5, 2, 2};
+  auto pair = data::GenerateUeaLike(spec, 5, data::GeneratorCaps{});
+  RocketClassifier rocket(QuickConfig());
+  EXPECT_FALSE(rocket.Fit(pair.train).ok());
+}
+
+TEST(RocketTest, RejectsNonPositiveKernels) {
+  RocketConfig config = QuickConfig();
+  config.num_kernels = 0;
+  RocketClassifier rocket(config);
+  auto pair = EasyProblem(6);
+  EXPECT_FALSE(rocket.Fit(pair.train).ok());
+}
+
+TEST(RocketTest, HandlesMultiChannelRouting) {
+  // Kernels pick random channels; with D=6 and 120 kernels every channel is
+  // sampled with overwhelming probability, so zeroing one channel must
+  // change some features.
+  auto pair = EasyProblem(7);
+  RocketClassifier rocket(QuickConfig());
+  ASSERT_TRUE(rocket.Fit(pair.train).ok());
+  Tensor x = pair.test.x.Clone();
+  auto before = rocket.ExtractFeatures(x);
+  for (int64_t i = 0; i < x.dim(0); ++i) {
+    for (int64_t t = 0; t < x.dim(1); ++t) x.at({i, t, 0}) = 0.0f;
+  }
+  auto after = rocket.ExtractFeatures(x);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(MaxAbsDiff(*before, *after), 1e-4f);
+}
+
+}  // namespace
+}  // namespace tsfm

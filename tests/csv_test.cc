@@ -1,0 +1,100 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/uea_like.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+data::TimeSeriesDataset SmallDataset() {
+  data::UeaDatasetSpec spec{"csvtest", "csvtest", 6, 4, 3, 5, 2, 2};
+  return data::GenerateUeaLike(spec, 3, data::GeneratorCaps{}).train;
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  data::TimeSeriesDataset ds = SmallDataset();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(data::SaveCsv(ds, path).ok());
+  auto loaded = data::LoadCsv(path, ds.name);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), ds.size());
+  EXPECT_EQ(loaded->length(), ds.length());
+  EXPECT_EQ(loaded->channels(), ds.channels());
+  EXPECT_EQ(loaded->num_classes, ds.num_classes);
+  EXPECT_EQ(loaded->y, ds.y);
+  EXPECT_LT(MaxAbsDiff(loaded->x, ds.x), 1e-4f);  // float printing precision
+}
+
+TEST(CsvTest, SaveRejectsInvalidDataset) {
+  data::TimeSeriesDataset bad;
+  bad.x = Tensor(Shape{2, 2});  // not 3-D
+  bad.num_classes = 1;
+  EXPECT_FALSE(data::SaveCsv(bad, TempPath("bad.csv")).ok());
+}
+
+TEST(CsvTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(data::LoadCsv("/nonexistent/file.csv").ok());
+}
+
+TEST(CsvTest, LoadRejectsMalformedHeader) {
+  const std::string path = TempPath("badheader.csv");
+  std::ofstream(path) << "a,b,c\n1,2,3\n";
+  EXPECT_FALSE(data::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadRejectsRaggedChannels) {
+  const std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "sample,label,t,ch0,ch1\n0,0,0,1.0,2.0\n0,0,1,1.0\n";
+  EXPECT_FALSE(data::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadRejectsRaggedLengths) {
+  const std::string path = TempPath("raggedlen.csv");
+  std::ofstream(path) << "sample,label,t,ch0\n"
+                      << "0,0,0,1.0\n0,0,1,2.0\n"
+                      << "1,1,0,3.0\n";  // sample 1 has only one step
+  EXPECT_FALSE(data::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadRejectsInconsistentLabels) {
+  const std::string path = TempPath("badlabel.csv");
+  std::ofstream(path) << "sample,label,t,ch0\n0,0,0,1.0\n0,1,1,2.0\n";
+  EXPECT_FALSE(data::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadSortsOutOfOrderTimeSteps) {
+  const std::string path = TempPath("shuffled.csv");
+  std::ofstream(path) << "sample,label,t,ch0\n"
+                      << "0,1,1,20.0\n0,1,0,10.0\n";
+  auto ds = data::LoadCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->x.at({0, 0, 0}), 10.0f);
+  EXPECT_EQ(ds->x.at({0, 1, 0}), 20.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NumClassesInferredFromMaxLabel) {
+  const std::string path = TempPath("classes.csv");
+  std::ofstream(path) << "sample,label,t,ch0\n"
+                      << "0,0,0,1.0\n"
+                      << "1,4,0,2.0\n";
+  auto ds = data::LoadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_classes, 5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsfm

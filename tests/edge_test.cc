@@ -1,0 +1,183 @@
+// Boundary-condition tests: degenerate shapes and parameter values that the
+// main suites don't hit (scalars, single elements, empty ranges, D' == D).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/pca_adapter.h"
+#include "core/static_adapters.h"
+#include "data/uea_like.h"
+#include "finetune/finetune.h"
+#include "models/moment.h"
+#include "optim/optim.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+TEST(EdgeTensorTest, ScalarBroadcastsEverywhere) {
+  Tensor scalar = Tensor::Scalar(2.0f);
+  Tensor m(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor sum = Add(m, scalar);
+  EXPECT_EQ(sum.shape(), (Shape{2, 3}));
+  EXPECT_EQ(sum.at({1, 2}), 8.0f);
+  Tensor prod = Mul(scalar, m);
+  EXPECT_EQ(prod.at({0, 0}), 2.0f);
+}
+
+TEST(EdgeTensorTest, OneByOneMatMul) {
+  Tensor a(Shape{1, 1}, {3.0f});
+  Tensor b(Shape{1, 1}, {4.0f});
+  EXPECT_EQ(MatMul(a, b).at({0, 0}), 12.0f);
+}
+
+TEST(EdgeTensorTest, SoftmaxOfSingleLogitIsOne) {
+  Tensor t(Shape{3, 1}, {5.0f, -2.0f, 0.0f});
+  Tensor s = Softmax(t);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(s.at({i, 0}), 1.0f, 1e-6f);
+}
+
+TEST(EdgeTensorTest, VarianceOfSingleElementAxisIsZero) {
+  Tensor t(Shape{4, 1}, {1, 2, 3, 4});
+  Tensor v = Variance(t, 1);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0f);
+}
+
+TEST(EdgeTensorTest, EmptySliceHasZeroElements) {
+  Tensor t(Shape{2, 5});
+  Tensor s = Slice(t, 1, 3, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 0}));
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(EdgeTensorTest, ConcatOfSingleTensorIsCopy) {
+  Rng rng(1);
+  Tensor t = Tensor::RandN({3, 4}, &rng);
+  Tensor c = Concat({t}, 0);
+  EXPECT_TRUE(AllClose(c, t));
+  EXPECT_FALSE(c.SharesStorageWith(t));
+}
+
+TEST(EdgeTensorTest, TakeRowsEmptySelection) {
+  Tensor t(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor picked = TakeRows(t, {});
+  EXPECT_EQ(picked.shape(), (Shape{0, 2}));
+}
+
+TEST(EdgeAutogradTest, CrossEntropySingleClassIsZero) {
+  ag::Var logits(Tensor::Zeros({3, 1}), true);
+  ag::Var loss = ag::CrossEntropy(logits, {0, 0, 0});
+  EXPECT_NEAR(loss.value()[0], 0.0f, 1e-6f);
+  loss.Backward();
+  EXPECT_NEAR(Norm(logits.grad()), 0.0f, 1e-6f);
+}
+
+TEST(EdgeAutogradTest, BackwardOnLeafScalar) {
+  ag::Var x(Tensor::Scalar(5.0f), true);
+  x.Backward();  // d(x)/d(x) = 1
+  EXPECT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(EdgeAutogradTest, ZeroElementTensorThroughOps) {
+  Tensor empty(Shape{0, 4});
+  Tensor scaled = Scale(empty, 2.0f);
+  EXPECT_EQ(scaled.numel(), 0);
+  Tensor summed = Sum(empty, 0);
+  EXPECT_EQ(summed.shape(), (Shape{4}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(summed[i], 0.0f);
+}
+
+TEST(EdgeOptimTest, CosineScheduleDegenerateWarmup) {
+  // Warmup longer than the run: stays in warmup the whole time.
+  EXPECT_LE(optim::CosineSchedule(5, 10, 20), 1.0f);
+  EXPECT_GT(optim::CosineSchedule(5, 10, 20), 0.0f);
+  // No warmup at all.
+  EXPECT_NEAR(optim::CosineSchedule(0, 10, 0), 1.0f, 1e-5f);
+}
+
+TEST(EdgeRngTest, UniformIntOfOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(EdgeAdapterTest, PcaWithFullDimensionPreservesGeometry) {
+  // D' == D: the projection is a full orthonormal basis change, so pairwise
+  // distances (and norms of centered data) are preserved.
+  Rng rng(3);
+  Tensor x = Tensor::RandN({6, 5, 4}, &rng);
+  core::AdapterOptions options;
+  options.out_channels = 4;
+  core::PcaAdapter pca(options);
+  std::vector<int64_t> y(6, 0);
+  ASSERT_TRUE(pca.Fit(x, y).ok());
+  Tensor out = *pca.Transform(x);
+  // Centered input norm == projected norm (rotation preserves length).
+  Tensor centered = Sub(x.Reshape({30, 4}),
+                        Mean(x.Reshape({30, 4}), 0, /*keepdim=*/true));
+  EXPECT_NEAR(Norm(centered), Norm(out), 1e-2f * Norm(centered));
+}
+
+TEST(EdgeAdapterTest, VarWithFullDimensionIsPermutation) {
+  Rng rng(4);
+  Tensor x = Tensor::RandN({4, 3, 5}, &rng);
+  core::AdapterOptions options;
+  options.out_channels = 5;
+  core::VarAdapter var(options);
+  std::vector<int64_t> y(4, 0);
+  ASSERT_TRUE(var.Fit(x, y).ok());
+  Tensor out = *var.Transform(x);
+  // Same multiset of values per (sample, step).
+  EXPECT_NEAR(Norm(out), Norm(x), 1e-5f);
+}
+
+TEST(EdgeFinetuneTest, BatchLargerThanDatasetWorks) {
+  Rng rng(5);
+  models::MomentModel model(models::MomentTestConfig(), &rng);
+  data::UeaDatasetSpec spec{"edge", "e", 6, 4, 4, 16, 2, 2};
+  auto pair = data::GenerateUeaLike(spec, 1, data::GeneratorCaps{});
+  finetune::FineTuneOptions options;
+  options.strategy = finetune::Strategy::kHeadOnly;
+  options.batch_size = 512;  // >> dataset size
+  options.head_epochs = 5;
+  auto result =
+      finetune::FineTune(&model, nullptr, pair.train, pair.test, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(EdgeFinetuneTest, SingleSampleBatches) {
+  Rng rng(6);
+  models::MomentModel model(models::MomentTestConfig(), &rng);
+  data::UeaDatasetSpec spec{"edge1", "e1", 8, 4, 4, 16, 2, 2};
+  auto pair = data::GenerateUeaLike(spec, 2, data::GeneratorCaps{});
+  finetune::FineTuneOptions options;
+  options.strategy = finetune::Strategy::kHeadOnly;
+  options.batch_size = 1;
+  options.head_epochs = 3;
+  auto result =
+      finetune::FineTune(&model, nullptr, pair.train, pair.test, options);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(EdgeModelTest, SingleChannelMultivariateInput) {
+  // D == 1 degenerates to the univariate case and must still work.
+  Rng rng(7);
+  models::MomentModel model(models::MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({3, 24, 1}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+  EXPECT_EQ(emb.shape(), (Shape{3, 16}));
+}
+
+TEST(EdgeModelTest, BatchOfOne) {
+  Rng rng(8);
+  models::MomentModel model(models::MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({1, 16, 3}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+  EXPECT_EQ(emb.shape(), (Shape{1, 16}));
+}
+
+}  // namespace
+}  // namespace tsfm

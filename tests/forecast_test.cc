@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus.h"
+#include "finetune/forecast.h"
+#include "models/moment.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+using finetune::EvaluateForecaster;
+using finetune::FitForecaster;
+using finetune::Forecast;
+using finetune::ForecastingHead;
+using finetune::ForecastOptions;
+
+// Predictable series: pure sinusoids with per-sample frequency/phase.
+Tensor SineSeries(int64_t n, int64_t t, uint64_t seed) {
+  Rng rng(seed);
+  Tensor out(Shape{n, t});
+  for (int64_t i = 0; i < n; ++i) {
+    const float f = static_cast<float>(rng.Uniform(2.0, 4.0));
+    const float phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    for (int64_t s = 0; s < t; ++s) {
+      out.at({i, s}) = std::sin(2.0f * static_cast<float>(M_PI) * f * s /
+                                    static_cast<float>(t) +
+                                phase);
+    }
+  }
+  return out;
+}
+
+class ForecastTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    models::FoundationModelConfig config = models::MomentSmallConfig();
+    config.dropout = 0.0f;
+    model_ = std::make_unique<models::MomentModel>(config, &rng);
+    models::PretrainOptions o;
+    o.corpus_size = 128;
+    o.series_length = 64;
+    o.epochs = 2;
+    ASSERT_TRUE(model_->Pretrain(o).ok());
+  }
+
+  std::unique_ptr<models::MomentModel> model_;
+};
+
+TEST_F(ForecastTest, BeatsPersistenceOnSinusoids) {
+  Tensor train = SineSeries(64, 64, 1);
+  Tensor test = SineSeries(32, 64, 2);
+  Rng head_rng(5);
+  ForecastingHead head(model_->embedding_dim(), 8, &head_rng);
+  ForecastOptions options;
+  options.horizon = 8;
+  options.epochs = 60;
+  auto loss = FitForecaster(*model_, &head, train, options);
+  ASSERT_TRUE(loss.ok()) << loss.status().ToString();
+  auto metrics = EvaluateForecaster(*model_, head, test);
+  ASSERT_TRUE(metrics.ok());
+  // Persistence is a poor forecaster of a sinusoid; the trained head must
+  // clearly beat it.
+  EXPECT_LT(metrics->mse, 0.7 * metrics->naive_mse)
+      << "model " << metrics->mse << " vs naive " << metrics->naive_mse;
+  EXPECT_LT(metrics->mae, metrics->naive_mae);
+}
+
+TEST_F(ForecastTest, TrainingReducesLoss) {
+  Tensor train = SineSeries(48, 64, 7);
+  Rng head_rng(6);
+  ForecastingHead head(model_->embedding_dim(), 8, &head_rng);
+  ForecastOptions few;
+  few.epochs = 2;
+  ForecastOptions many;
+  many.epochs = 40;
+  Rng head_rng2(6);
+  ForecastingHead head2(model_->embedding_dim(), 8, &head_rng2);
+  auto loss_few = FitForecaster(*model_, &head, train, few);
+  auto loss_many = FitForecaster(*model_, &head2, train, many);
+  ASSERT_TRUE(loss_few.ok());
+  ASSERT_TRUE(loss_many.ok());
+  EXPECT_LT(*loss_many, *loss_few);
+}
+
+TEST_F(ForecastTest, ForecastShape) {
+  Tensor contexts = SineSeries(5, 56, 9);
+  Rng head_rng(7);
+  ForecastingHead head(model_->embedding_dim(), 12, &head_rng);
+  auto pred = Forecast(*model_, head, contexts);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->shape(), (Shape{5, 12}));
+}
+
+TEST_F(ForecastTest, RejectsBadInputs) {
+  Rng head_rng(8);
+  ForecastingHead head(model_->embedding_dim(), 8, &head_rng);
+  ForecastOptions options;
+  options.horizon = 8;
+  // 3-D input.
+  EXPECT_FALSE(FitForecaster(*model_, &head, Tensor(Shape{4, 8, 2}), options)
+                   .ok());
+  // Series shorter than horizon + one patch.
+  EXPECT_FALSE(FitForecaster(*model_, &head, Tensor(Shape{4, 12}), options)
+                   .ok());
+  // Bad horizon.
+  options.horizon = 0;
+  EXPECT_FALSE(FitForecaster(*model_, &head, Tensor(Shape{4, 64}), options)
+                   .ok());
+  EXPECT_FALSE(Forecast(*model_, head, Tensor(Shape{4})).ok());
+}
+
+TEST_F(ForecastTest, DeterministicGivenSeed) {
+  Tensor train = SineSeries(32, 64, 11);
+  auto run = [&]() {
+    Rng head_rng(9);
+    ForecastingHead head(model_->embedding_dim(), 4, &head_rng);
+    ForecastOptions options;
+    options.horizon = 4;
+    options.epochs = 5;
+    EXPECT_TRUE(FitForecaster(*model_, &head, train, options).ok());
+    auto pred = Forecast(*model_, head, Slice(train, 1, 0, 60));
+    return pred->Clone();
+  };
+  EXPECT_TRUE(AllClose(run(), run(), 0.0f));
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -1,0 +1,137 @@
+// Tests for the benchmark grid driver (bench/grid.*): method composition,
+// cell aggregation, and the cross-binary run cache.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "bench/grid.h"
+
+namespace tsfm::bench {
+namespace {
+
+TEST(MethodSpecTest, PaperTable2Composition) {
+  const auto methods = PaperTable2Methods(5);
+  ASSERT_EQ(methods.size(), 7u);  // head-only + six adapters
+  EXPECT_EQ(methods[0].label, "no_adapter");
+  EXPECT_FALSE(methods[0].adapter.has_value());
+  EXPECT_EQ(methods[0].strategy, finetune::Strategy::kHeadOnly);
+  EXPECT_EQ(methods[1].label, "PCA");
+  EXPECT_EQ(methods[6].label, "lcomb_top_k");
+  for (size_t i = 1; i < methods.size(); ++i) {
+    EXPECT_EQ(methods[i].options.out_channels, 5);
+    EXPECT_EQ(methods[i].strategy, finetune::Strategy::kAdapterPlusHead);
+  }
+}
+
+TEST(MethodSpecTest, PcaSensitivityComposition) {
+  const auto methods = PcaSensitivityMethods(5);
+  ASSERT_EQ(methods.size(), 4u);
+  EXPECT_EQ(methods[0].label, "PCA");
+  EXPECT_EQ(methods[1].label, "ScaledPCA");
+  EXPECT_TRUE(methods[1].options.pca_scale);
+  EXPECT_EQ(methods[2].label, "PatchPCA_8");
+  EXPECT_EQ(methods[2].options.pca_patch_window, 8);
+  EXPECT_EQ(methods[3].label, "PatchPCA_16");
+}
+
+experiments::RunRecord MakeRecord(double acc, resources::Verdict verdict) {
+  experiments::RunRecord record;
+  record.estimate.verdict = verdict;
+  record.estimate.total_seconds = 100.0;
+  if (verdict == resources::Verdict::kOk) {
+    finetune::FineTuneResult measured;
+    measured.test_accuracy = acc;
+    measured.total_seconds = 1.5;
+    record.measured = measured;
+  }
+  return record;
+}
+
+TEST(CellResultTest, VerdictDominatesSummary) {
+  CellResult cell;
+  cell.seeds.push_back(MakeRecord(0.9, resources::Verdict::kOk));
+  cell.seeds.push_back(MakeRecord(0.0, resources::Verdict::kTimeout));
+  EXPECT_EQ(cell.Cell(), "TO");
+  EXPECT_FALSE(cell.AllCompleted());
+}
+
+TEST(CellResultTest, MeanStdFormatting) {
+  CellResult cell;
+  cell.seeds.push_back(MakeRecord(0.8, resources::Verdict::kOk));
+  cell.seeds.push_back(MakeRecord(0.9, resources::Verdict::kOk));
+  EXPECT_EQ(cell.Cell(), "0.850+-0.071");
+  EXPECT_TRUE(cell.AllCompleted());
+  EXPECT_NEAR(cell.MeanAccuracy(), 0.85, 1e-9);
+  EXPECT_NEAR(cell.MeanMeasuredSeconds(), 1.5, 1e-9);
+  EXPECT_NEAR(cell.MeanSimulatedSeconds(), 100.0, 1e-9);
+}
+
+TEST(CellResultTest, EmptyCell) {
+  CellResult cell;
+  EXPECT_EQ(cell.Cell(), "-");
+  EXPECT_FALSE(cell.AllCompleted());
+  EXPECT_TRUE(std::isnan(cell.MeanAccuracy()));
+}
+
+TEST(GridCacheTest, SecondRunHitsCacheInsteadOfRetraining) {
+  experiments::ExperimentConfig config;
+  config.fast = true;
+  config.num_seeds = 1;
+  config.caps = data::GeneratorCaps{16, 12, 29, 10};
+  config.checkpoint_dir = ::testing::TempDir() + "/grid_cache_test";
+  std::filesystem::remove_all(config.checkpoint_dir);
+
+  std::vector<MethodSpec> methods{AdapterMethod(core::AdapterKind::kVar, 3)};
+  auto run_grid = [&]() {
+    experiments::ExperimentRunner runner(config);
+    auto datasets = runner.Datasets();
+    std::vector<data::UeaDatasetSpec> one{*data::FindUeaSpec("Vowels")};
+    return RunGrid(&runner, one, {models::ModelKind::kVit}, methods);
+  };
+  auto first = run_grid();
+  const double acc =
+      first.at({"JapaneseVowels", models::ModelKind::kVit, "VAR"})
+          .MeanAccuracy();
+  EXPECT_FALSE(std::isnan(acc));
+
+  // Remove the model checkpoint: a cache miss would now retrain a *fresh*
+  // model (different accuracy possible), a cache hit returns identical
+  // results without touching the model at all.
+  std::filesystem::remove(config.checkpoint_dir + "/ViT_fast.ckpt");
+  auto second = run_grid();
+  EXPECT_DOUBLE_EQ(
+      second.at({"JapaneseVowels", models::ModelKind::kVit, "VAR"})
+          .MeanAccuracy(),
+      acc);
+  // And the checkpoint was NOT recreated, proving no training happened.
+  EXPECT_FALSE(std::filesystem::exists(config.checkpoint_dir + "/ViT_fast.ckpt"));
+  std::filesystem::remove_all(config.checkpoint_dir);
+}
+
+TEST(GridCacheTest, DistinctStrategiesGetDistinctCacheKeys) {
+  experiments::ExperimentConfig config;
+  config.checkpoint_dir = "unused";
+  MethodSpec adapter_head = AdapterMethod(core::AdapterKind::kLcomb, 5);
+  MethodSpec full_ft = AdapterMethod(core::AdapterKind::kLcomb, 5);
+  full_ft.strategy = finetune::Strategy::kFullFineTune;
+  // The public surface that guarantees this is the key function used by the
+  // cache; equal labels with different strategies must not collide.
+  // (RunCache::Key is internal; we assert via the observable label+strategy
+  // pair that feeds it.)
+  EXPECT_EQ(adapter_head.label, full_ft.label);
+  EXPECT_NE(static_cast<int>(adapter_head.strategy),
+            static_cast<int>(full_ft.strategy));
+}
+
+TEST(BenchOutputDirTest, EnvOverride) {
+  setenv("TSFM_BENCH_OUT", "/tmp/somewhere", 1);
+  EXPECT_EQ(BenchOutputDir(), "/tmp/somewhere");
+  unsetenv("TSFM_BENCH_OUT");
+  EXPECT_EQ(BenchOutputDir(), ".");
+}
+
+}  // namespace
+}  // namespace tsfm::bench

@@ -1,0 +1,136 @@
+// End-to-end integration tests exercising the full public pipeline the way
+// the examples and benchmarks do: generate data -> pretrain -> fit adapters
+// -> fine-tune -> evaluate -> statistics.
+
+#include <gtest/gtest.h>
+
+#include "core/adapter.h"
+#include "data/uea_like.h"
+#include "experiments/runner.h"
+#include "finetune/finetune.h"
+#include "models/pretrained.h"
+#include "stats/stats.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+TEST(IntegrationTest, AdapterComparisonPipeline) {
+  // A miniature version of the paper's Table 2 protocol on one dataset:
+  // compare head-only vs PCA vs VAR over 2 seeds, then t-test the results.
+  data::UeaDatasetSpec spec{"mini", "mini", 40, 24, 10, 32, 2, 4};
+  Rng init_rng(5);
+  auto model =
+      std::make_shared<models::VitModel>(models::VitTestConfig(), &init_rng);
+  models::PretrainOptions po;
+  po.corpus_size = 48;
+  po.series_length = 32;
+  po.epochs = 2;
+  ASSERT_TRUE(model->Pretrain(po).ok());
+
+  std::vector<std::vector<double>> per_method(3);
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    auto pair = data::GenerateUeaLike(spec, seed, data::GeneratorCaps{});
+    finetune::FineTuneOptions options;
+    options.head_epochs = 30;
+    options.batch_size = 16;
+    options.seed = seed;
+
+    // Method 0: head only.
+    options.strategy = finetune::Strategy::kHeadOnly;
+    auto r0 =
+        finetune::FineTune(model.get(), nullptr, pair.train, pair.test, options);
+    ASSERT_TRUE(r0.ok());
+    per_method[0].push_back(r0->test_accuracy);
+
+    // Methods 1 and 2: PCA and VAR adapters at D' = 4.
+    options.strategy = finetune::Strategy::kAdapterPlusHead;
+    core::AdapterOptions ao;
+    ao.out_channels = 4;
+    int m = 1;
+    for (core::AdapterKind kind :
+         {core::AdapterKind::kPca, core::AdapterKind::kVar}) {
+      auto adapter = core::CreateAdapter(kind, ao);
+      auto r = finetune::FineTune(model.get(), adapter.get(), pair.train,
+                                  pair.test, options);
+      ASSERT_TRUE(r.ok());
+      per_method[static_cast<size_t>(m++)].push_back(r->test_accuracy);
+    }
+  }
+
+  // All methods should beat chance on this easy problem.
+  for (const auto& accs : per_method) {
+    EXPECT_GT(stats::Mean(accs), 0.55);
+  }
+  // The pairwise p-value matrix is well-formed.
+  auto pvals = stats::PairwisePValueMatrix(per_method);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(pvals[i][i], 1.0);
+  }
+  // Ranks aggregate sensibly.
+  std::vector<std::vector<double>> per_dataset{
+      {stats::Mean(per_method[0]), stats::Mean(per_method[1]),
+       stats::Mean(per_method[2])}};
+  auto ranks = stats::AverageRanks(per_dataset);
+  double sum = 0;
+  for (double r : ranks) sum += r;
+  EXPECT_DOUBLE_EQ(sum, 6.0);  // 1 + 2 + 3
+}
+
+TEST(IntegrationTest, RunnerGridForOneDataset) {
+  // Drives the shared experiment runner exactly like bench_table2 does,
+  // for one tiny dataset and two adapters.
+  experiments::ExperimentConfig config;
+  config.fast = true;
+  config.num_seeds = 1;
+  config.caps = data::GeneratorCaps{24, 16, 29, 12};
+  config.checkpoint_dir = ::testing::TempDir();
+  experiments::ExperimentRunner runner(config);
+
+  std::vector<std::string> cells;
+  for (auto adapter : {std::optional<core::AdapterKind>(std::nullopt),
+                       std::optional<core::AdapterKind>(core::AdapterKind::kPca),
+                       std::optional<core::AdapterKind>(
+                           core::AdapterKind::kLcomb)}) {
+    experiments::RunSpec spec;
+    spec.dataset = "JapaneseVowels";
+    spec.model_kind = models::ModelKind::kMoment;
+    spec.adapter = adapter;
+    spec.strategy = adapter.has_value()
+                        ? finetune::Strategy::kAdapterPlusHead
+                        : finetune::Strategy::kHeadOnly;
+    spec.adapter_options.out_channels = 5;
+    auto record = runner.Run(spec);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    ASSERT_TRUE(record->completed()) << record->method;
+    cells.push_back(record->CellString());
+  }
+  EXPECT_EQ(cells.size(), 3u);
+}
+
+TEST(IntegrationTest, CheckpointReuseGivesIdenticalAccuracy) {
+  // Two runners sharing a checkpoint dir produce identical results — the
+  // "published checkpoint" behaves like a fixed artifact.
+  experiments::ExperimentConfig config;
+  config.fast = true;
+  config.num_seeds = 1;
+  config.caps = data::GeneratorCaps{16, 12, 29, 10};
+  config.checkpoint_dir = ::testing::TempDir() + "/ckpt_reuse";
+  auto run_once = [&]() {
+    experiments::ExperimentRunner runner(config);
+    experiments::RunSpec spec;
+    spec.dataset = "JapaneseVowels";
+    spec.model_kind = models::ModelKind::kVit;
+    spec.adapter = core::AdapterKind::kSvd;
+    spec.adapter_options.out_channels = 4;
+    auto record = runner.Run(spec);
+    EXPECT_TRUE(record.ok());
+    return record->accuracy();
+  };
+  const double first = run_once();
+  const double second = run_once();
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -1,0 +1,127 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/optim.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+// Minimizes ||x - target||^2 with the given optimizer; returns final distance.
+template <typename Opt, typename... Args>
+float MinimizeQuadratic(int steps, float lr, Args... args) {
+  Tensor target(Shape{3}, {1.0f, -2.0f, 0.5f});
+  ag::Var x(Tensor::Zeros({3}), true);
+  Opt opt({x}, lr, args...);
+  for (int i = 0; i < steps; ++i) {
+    ag::Var loss = ag::MseLoss(x, target);
+    loss.Backward();
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  return Norm(Sub(x.value(), target));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<optim::Sgd>(200, 0.3f), 1e-3f);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  const float plain = MinimizeQuadratic<optim::Sgd>(30, 0.05f, 0.0f);
+  const float momentum = MinimizeQuadratic<optim::Sgd>(30, 0.05f, 0.9f);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(SgdTest, WeightDecayShrinksSolution) {
+  Tensor target(Shape{1}, {10.0f});
+  ag::Var x(Tensor::Zeros({1}), true);
+  optim::Sgd opt({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  for (int i = 0; i < 500; ++i) {
+    ag::MseLoss(x, target).Backward();
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  // Equilibrium of 2(x - 10) + 0.5 x = 0 -> x = 8.
+  EXPECT_NEAR(x.value()[0], 8.0f, 0.1f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<optim::Adam>(300, 0.05f), 1e-2f);
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<optim::AdamW>(300, 0.05f), 5e-2f);
+}
+
+TEST(AdamTest, HandlesSparseScaleDifferences) {
+  // One coordinate has a 100x larger gradient scale; Adam should still move
+  // both toward the optimum at comparable rates.
+  ag::Var x(Tensor::Zeros({2}), true);
+  Tensor scale(Shape{2}, {100.0f, 1.0f});
+  Tensor target(Shape{2}, {1.0f, 1.0f});
+  optim::Adam opt({x}, 0.05f);
+  for (int i = 0; i < 200; ++i) {
+    ag::Var diff = ag::Sub(ag::Mul(x, ag::Constant(scale)),
+                           ag::Constant(Mul(target, scale)));
+    ag::MeanAll(ag::Square(diff)).Backward();
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_NEAR(x.value()[0], 1.0f, 0.1f);
+  EXPECT_NEAR(x.value()[1], 1.0f, 0.2f);
+}
+
+TEST(OptimizerTest, StepCountAdvances) {
+  ag::Var x(Tensor::Zeros({1}), true);
+  optim::Sgd opt({x}, 0.1f);
+  EXPECT_EQ(opt.step_count(), 0);
+  ag::MseLoss(x, Tensor::Ones({1})).Backward();
+  opt.Step();
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(OptimizerDeathTest, RejectsNonGradParams) {
+  ag::Var constant(Tensor::Zeros({1}), false);
+  EXPECT_DEATH(optim::Sgd({constant}, 0.1f), "require grad");
+}
+
+TEST(ClipGradNormTest, ScalesLargeGradients) {
+  ag::Var x(Tensor::Zeros({2}), true);
+  Tensor big_target(Shape{2}, {1000.0f, 1000.0f});
+  ag::MseLoss(x, big_target).Backward();
+  const float before = Norm(x.grad());
+  EXPECT_GT(before, 1.0f);
+  const float reported = optim::ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(reported, before, before * 1e-5f);
+  EXPECT_NEAR(Norm(x.grad()), 1.0f, 1e-4f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  ag::Var x(Tensor::Zeros({2}), true);
+  Tensor target(Shape{2}, {0.01f, 0.01f});
+  ag::MseLoss(x, target).Backward();
+  Tensor before = x.grad().Clone();
+  optim::ClipGradNorm({x}, 10.0f);
+  EXPECT_TRUE(AllClose(x.grad(), before));
+}
+
+TEST(CosineScheduleTest, WarmupThenDecay) {
+  // Linear warmup over first 10 steps.
+  EXPECT_NEAR(optim::CosineSchedule(0, 100, 10), 0.1f, 1e-5f);
+  EXPECT_NEAR(optim::CosineSchedule(9, 100, 10), 1.0f, 1e-5f);
+  // Peak right after warmup, ~0 at the end.
+  EXPECT_NEAR(optim::CosineSchedule(10, 100, 10), 1.0f, 1e-4f);
+  EXPECT_NEAR(optim::CosineSchedule(100, 100, 10), 0.0f, 1e-4f);
+  // Monotone decay after warmup.
+  float prev = 2.0f;
+  for (int64_t s = 10; s <= 100; s += 10) {
+    const float v = optim::CosineSchedule(s, 100, 10);
+    EXPECT_LE(v, prev + 1e-6f);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -1,0 +1,303 @@
+// Property-based tests: algebraic identities and invariants checked across
+// parameterized sweeps of shapes, sizes and operators.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "data/uea_like.h"
+#include "linalg/linalg.h"
+#include "models/moment.h"
+#include "models/pretrained.h"
+#include "models/vit.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace tsfm {
+namespace {
+
+// ----------------------- Tensor algebra properties -------------------------
+
+class BroadcastShapeSuite
+    : public ::testing::TestWithParam<std::tuple<Shape, Shape>> {};
+
+TEST_P(BroadcastShapeSuite, BinaryOpsAgreeWithManualBroadcast) {
+  const auto& [sa, sb] = GetParam();
+  Rng rng(1);
+  Tensor a = Tensor::RandN(sa, &rng);
+  Tensor b = Tensor::RandN(sb, &rng);
+  Tensor sum = Add(a, b);
+  const Shape expect = BroadcastShapes(sa, sb);
+  ASSERT_EQ(sum.shape(), expect);
+  // a + b == b + a (commutativity through the broadcast machinery).
+  EXPECT_TRUE(AllClose(sum, Add(b, a)));
+  // a * b == b * a.
+  EXPECT_TRUE(AllClose(Mul(a, b), Mul(b, a)));
+  // (a - b) + b == broadcast(a).
+  Tensor roundtrip = Add(Sub(a, b), b);
+  Tensor a_broadcast = Add(a, Tensor::Zeros(expect));
+  EXPECT_LT(MaxAbsDiff(roundtrip, a_broadcast), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastShapeSuite,
+    ::testing::Values(std::make_tuple(Shape{4, 3}, Shape{4, 3}),
+                      std::make_tuple(Shape{4, 3}, Shape{3}),
+                      std::make_tuple(Shape{2, 1, 5}, Shape{3, 1}),
+                      std::make_tuple(Shape{6}, Shape{2, 1, 6}),
+                      std::make_tuple(Shape{1}, Shape{2, 3, 4}),
+                      std::make_tuple(Shape{5, 1, 2}, Shape{5, 4, 2})));
+
+class MatMulShapeSuite
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeSuite, TransposeIdentity) {
+  const auto& [m, k, n] = GetParam();
+  Rng rng(2);
+  Tensor a = Tensor::RandN({m, k}, &rng);
+  Tensor b = Tensor::RandN({k, n}, &rng);
+  // (A B)^T == B^T A^T
+  Tensor lhs = TransposeLast2(MatMul(a, b));
+  Tensor rhs = MatMul(TransposeLast2(b), TransposeLast2(a));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-4f);
+}
+
+TEST_P(MatMulShapeSuite, IdentityIsNeutral) {
+  const auto& [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(3);
+  Tensor a = Tensor::RandN({m, k}, &rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, Tensor::Eye(k)), a), 1e-5f);
+  EXPECT_LT(MaxAbsDiff(MatMul(Tensor::Eye(m), a), a), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulShapeSuite,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 5, 2),
+                                           std::make_tuple(8, 8, 8),
+                                           std::make_tuple(2, 17, 4)));
+
+TEST(SoftmaxPropertyTest, InvariantUnderConstantShift) {
+  Rng rng(4);
+  Tensor x = Tensor::RandN({5, 9}, &rng, 2.0f);
+  Tensor shifted = AddScalar(x, 123.0f);
+  EXPECT_LT(MaxAbsDiff(Softmax(x), Softmax(shifted)), 1e-5f);
+}
+
+TEST(SoftmaxPropertyTest, MonotoneInLogits) {
+  // Raising one logit raises its probability and lowers the others.
+  Tensor x(Shape{1, 3}, {0.0f, 0.0f, 0.0f});
+  Tensor y = x.Clone();
+  y.at({0, 1}) = 1.0f;
+  Tensor px = Softmax(x);
+  Tensor py = Softmax(y);
+  EXPECT_GT(py.at({0, 1}), px.at({0, 1}));
+  EXPECT_LT(py.at({0, 0}), px.at({0, 0}));
+  EXPECT_LT(py.at({0, 2}), px.at({0, 2}));
+}
+
+class ReductionAxisSuite : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ReductionAxisSuite, SumOverAxisMatchesTotal) {
+  const int64_t axis = GetParam();
+  Rng rng(5);
+  Tensor x = Tensor::RandN({3, 4, 5}, &rng);
+  // Summing the axis-sums equals the global sum.
+  EXPECT_NEAR(SumAll(Sum(x, axis)), SumAll(x), 1e-3f);
+  // keepdim and non-keepdim agree on data.
+  Tensor kd = Sum(x, axis, true);
+  Tensor nk = Sum(x, axis, false);
+  EXPECT_LT(MaxAbsDiff(kd.Reshape(nk.shape()), nk), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, ReductionAxisSuite, ::testing::Values(0, 1, 2));
+
+// --------------------------- Linalg properties -----------------------------
+
+class EigenSizeSuite : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(EigenSizeSuite, ReconstructsMatrix) {
+  const int64_t d = GetParam();
+  Rng rng(6 + static_cast<uint64_t>(d));
+  Tensor b = Tensor::RandN({d, d}, &rng);
+  Tensor a = Scale(MatMul(TransposeLast2(b), b), 1.0f / d);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A == V diag(lambda) V^T
+  Tensor vl = eig->eigenvectors.Clone();
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      vl.at({i, j}) *= eig->eigenvalues[j];
+    }
+  }
+  Tensor recon = MatMul(vl, TransposeLast2(eig->eigenvectors));
+  EXPECT_LT(RelativeError(a, recon), 1e-3f) << "d=" << d;
+  // Trace == sum of eigenvalues.
+  float trace = 0.0f, eigsum = 0.0f;
+  for (int64_t i = 0; i < d; ++i) {
+    trace += a.at({i, i});
+    eigsum += eig->eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, eigsum, 1e-2f * std::max(1.0f, std::fabs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizeSuite,
+                         ::testing::Values(2, 3, 7, 16, 33));
+
+class SvdRankSuite : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SvdRankSuite, EnergyCapturedIsMonotoneInK) {
+  Rng rng(7);
+  Tensor x = Tensor::RandN({40, 12}, &rng);
+  const int64_t k = GetParam();
+  auto svd_k = TruncatedSvd(x, k);
+  auto svd_k1 = TruncatedSvd(x, k + 1);
+  ASSERT_TRUE(svd_k.ok());
+  ASSERT_TRUE(svd_k1.ok());
+  auto energy = [](const Tensor& s) {
+    double total = 0;
+    for (int64_t i = 0; i < s.numel(); ++i) {
+      total += static_cast<double>(s[i]) * s[i];
+    }
+    return total;
+  };
+  EXPECT_GE(energy(svd_k1->s), energy(svd_k->s) - 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SvdRankSuite, ::testing::Values(1, 3, 6, 10));
+
+// --------------------------- Autograd properties ---------------------------
+
+TEST(AutogradPropertyTest, LinearityOfGradients) {
+  // grad of (a*f + b*g) == a*grad(f) + b*grad(g).
+  Rng rng(8);
+  Tensor x0 = Tensor::RandN({2, 3}, &rng);
+  auto grad_of = [&](float ca, float cb) {
+    ag::Var x(x0.Clone(), true);
+    ag::Var f = ag::SumAll(ag::Square(x));
+    ag::Var g = ag::SumAll(ag::Tanh(x));
+    ag::Var combined = ag::Add(ag::Scale(f, ca), ag::Scale(g, cb));
+    combined.Backward();
+    return x.grad();
+  };
+  Tensor g_combined = grad_of(2.0f, -3.0f);
+  Tensor g_f = grad_of(1.0f, 0.0f);
+  Tensor g_g = grad_of(0.0f, 1.0f);
+  Tensor expect = Add(Scale(g_f, 2.0f), Scale(g_g, -3.0f));
+  EXPECT_LT(MaxAbsDiff(g_combined, expect), 1e-4f);
+}
+
+TEST(AutogradPropertyTest, ChainRuleThroughComposition) {
+  // d/dx sum(softmax(Wx)) == 0 because softmax rows sum to 1 exactly.
+  Rng rng(9);
+  Tensor w = Tensor::RandN({4, 6}, &rng);
+  ag::Var x(Tensor::RandN({2, 4}, &rng), true);
+  ag::Var y = ag::SumAll(ag::Softmax(ag::MatMul(x, ag::Constant(w))));
+  y.Backward();
+  EXPECT_LT(Norm(x.grad()), 1e-4f);
+  EXPECT_NEAR(y.value()[0], 2.0f, 1e-4f);  // 2 rows, each sums to 1
+}
+
+TEST(AutogradPropertyTest, StopGradZeroesUpstream) {
+  Rng rng(10);
+  ag::Var x(Tensor::RandN({3}, &rng), true);
+  ag::Var y = ag::SumAll(ag::Mul(x.Detach(), x.Detach()));
+  y.Backward();
+  EXPECT_EQ(Norm(x.grad()), 0.0f);
+}
+
+// ----------------------- Model-family property sweep -----------------------
+
+class ModelFamilySuite : public ::testing::TestWithParam<models::ModelKind> {};
+
+std::shared_ptr<models::FoundationModel> MakeModel(models::ModelKind kind,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  if (kind == models::ModelKind::kMoment) {
+    return std::make_shared<models::MomentModel>(models::MomentTestConfig(),
+                                                 &rng);
+  }
+  return std::make_shared<models::VitModel>(models::VitTestConfig(), &rng);
+}
+
+TEST_P(ModelFamilySuite, EmbeddingIndependentOfBatchComposition) {
+  auto model = MakeModel(GetParam(), 11);
+  Rng rng(12);
+  Tensor x = Tensor::RandN({4, 32, 3}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  Tensor joint = model->EncodeChannels(ag::Constant(x), ctx).value();
+  Tensor solo = model
+                    ->EncodeChannels(ag::Constant(Slice(x, 0, 2, 3)), ctx)
+                    .value();
+  EXPECT_LT(MaxAbsDiff(Slice(joint, 0, 2, 3), solo), 1e-4f);
+}
+
+TEST_P(ModelFamilySuite, EmbeddingScalesWithInput) {
+  // Sanity: embeddings are not constant in the input.
+  auto model = MakeModel(GetParam(), 13);
+  Rng rng(14);
+  Tensor a = Tensor::RandN({1, 32, 2}, &rng);
+  Tensor b = Tensor::RandN({1, 32, 2}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  Tensor ea = model->EncodeChannels(ag::Constant(a), ctx).value();
+  Tensor eb = model->EncodeChannels(ag::Constant(b), ctx).value();
+  EXPECT_GT(MaxAbsDiff(ea, eb), 1e-4f);
+}
+
+TEST_P(ModelFamilySuite, PretrainingChangesWeightsDeterministically) {
+  auto m1 = MakeModel(GetParam(), 15);
+  auto m2 = MakeModel(GetParam(), 15);
+  models::PretrainOptions o;
+  o.corpus_size = 24;
+  o.series_length = 32;
+  o.epochs = 1;
+  auto l1 = m1->Pretrain(o);
+  auto l2 = m2->Pretrain(o);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_DOUBLE_EQ(*l1, *l2);  // bit-for-bit deterministic pretraining
+  // Same weights afterwards.
+  auto p1 = m1->NamedParameters();
+  auto p2 = m2->NamedParameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(AllClose(p1[i].second.value(), p2[i].second.value(), 0.0f))
+        << p1[i].first;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ModelFamilySuite,
+                         ::testing::Values(models::ModelKind::kMoment,
+                                           models::ModelKind::kVit),
+                         [](const auto& info) {
+                           return models::ModelKindName(info.param);
+                         });
+
+// ------------------------ Generator property sweep -------------------------
+
+class GeneratorDatasetSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorDatasetSuite, ShapesClassesAndDeterminism) {
+  auto spec = data::FindUeaSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  data::GeneratorCaps caps{40, 24, 32, 48};
+  auto a = data::GenerateUeaLike(*spec, 5, caps);
+  auto b = data::GenerateUeaLike(*spec, 5, caps);
+  EXPECT_TRUE(data::Validate(a.train).ok());
+  EXPECT_TRUE(data::Validate(a.test).ok());
+  EXPECT_TRUE(AllClose(a.train.x, b.train.x));
+  EXPECT_EQ(a.train.num_classes, spec->classes);
+  EXPECT_LE(a.train.channels(), std::min<int64_t>(spec->channels, 48));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, GeneratorDatasetSuite,
+                         ::testing::Values("Duck", "Face", "Finger", "Hand",
+                                           "Heart", "Insect", "Vowels",
+                                           "Motor", "NATOPS", "PEMS",
+                                           "Phoneme", "SpokeA"));
+
+}  // namespace
+}  // namespace tsfm

@@ -1,0 +1,249 @@
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/uea_like.h"
+#include "resources/cost_model.h"
+
+namespace tsfm {
+namespace {
+
+using resources::EstimateRun;
+using resources::GpuSpec;
+using resources::MomentPaperSpec;
+using resources::PaperModelSpec;
+using resources::TrainRegime;
+using resources::V100Spec;
+using resources::Verdict;
+using resources::VitPaperSpec;
+using resources::Workload;
+
+Workload WorkloadFor(const std::string& dataset, int64_t channels = -1) {
+  auto spec = data::FindUeaSpec(dataset);
+  EXPECT_TRUE(spec.ok());
+  return Workload{spec->train_size, spec->test_size,
+                  channels > 0 ? channels : spec->channels};
+}
+
+TEST(PaperSpecTest, ModelSizesMatchPaper) {
+  EXPECT_EQ(MomentPaperSpec().params, 341'000'000);
+  EXPECT_EQ(VitPaperSpec().params, 8'000'000);
+  EXPECT_EQ(MomentPaperSpec().NumPatches(), 64);   // 512 / 8
+  EXPECT_EQ(VitPaperSpec().NumPatches(), 127);     // (512-8)/4 + 1
+}
+
+TEST(GpuSpecTest, V100Budget) {
+  GpuSpec gpu = V100Spec();
+  EXPECT_DOUBLE_EQ(gpu.memory_bytes, 32.0 * (1ull << 30));
+  EXPECT_DOUBLE_EQ(gpu.time_limit_seconds, 7200.0);
+}
+
+// ------------- The paper's Table 1: full fine-tuning, no adapter -----------
+
+struct Table1Row {
+  const char* dataset;
+  Verdict moment;
+  Verdict vit;
+};
+
+// Verdicts transcribed from Table 1 of the paper.
+const Table1Row kTable1[] = {
+    {"DuckDuckGeese", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"FaceDetection", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"FingerMovements", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"HandMovementDirection", Verdict::kOk, Verdict::kOk},
+    {"Heartbeat", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"InsectWingbeat", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"JapaneseVowels", Verdict::kOk, Verdict::kOk},
+    {"MotorImagery", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"NATOPS", Verdict::kTimeout, Verdict::kOk},
+    {"PEMS-SF", Verdict::kCudaOutOfMemory, Verdict::kCudaOutOfMemory},
+    {"PhonemeSpectra", Verdict::kTimeout, Verdict::kOk},
+    {"SpokenArabicDigits", Verdict::kTimeout, Verdict::kOk},
+};
+
+TEST(CostModelTable1Test, MomentFullFineTuneVerdictsMatchPaper) {
+  const PaperModelSpec model = MomentPaperSpec();
+  const GpuSpec gpu = V100Spec();
+  for (const auto& row : kTable1) {
+    auto est = EstimateRun(model, gpu, WorkloadFor(row.dataset),
+                           TrainRegime::kFullFineTune);
+    EXPECT_EQ(est.verdict, row.moment)
+        << row.dataset << ": got " << resources::VerdictString(est.verdict)
+        << " want " << resources::VerdictString(row.moment)
+        << " (peak GB=" << est.peak_memory_bytes / (1ull << 30)
+        << ", seconds=" << est.total_seconds << ")";
+  }
+}
+
+TEST(CostModelTable1Test, VitFullFineTuneVerdictsMatchPaper) {
+  const PaperModelSpec model = VitPaperSpec();
+  const GpuSpec gpu = V100Spec();
+  for (const auto& row : kTable1) {
+    auto est = EstimateRun(model, gpu, WorkloadFor(row.dataset),
+                           TrainRegime::kFullFineTune);
+    EXPECT_EQ(est.verdict, row.vit)
+        << row.dataset << ": got " << resources::VerdictString(est.verdict)
+        << " want " << resources::VerdictString(row.vit)
+        << " (peak GB=" << est.peak_memory_bytes / (1ull << 30)
+        << ", seconds=" << est.total_seconds << ")";
+  }
+}
+
+// ---------- Section 4 / Appendix C.5: fit-on-GPU counts with lcomb ---------
+
+TEST(CostModelTest, LcombAdapterPlusHeadFitsTwelveOfTwelveForVit) {
+  const GpuSpec gpu = V100Spec();
+  int fits = 0;
+  for (const auto& spec : data::UeaSpecs()) {
+    Workload w{spec.train_size, spec.test_size, /*channels=*/5};
+    auto est = EstimateRun(VitPaperSpec(), gpu, w,
+                           TrainRegime::kAdapterPlusHeadLearnable);
+    if (est.verdict == Verdict::kOk) ++fits;
+  }
+  EXPECT_EQ(fits, 12);  // paper: "12 out of 12 datasets for ViT"
+}
+
+TEST(CostModelTest, LcombAdapterPlusHeadFitsNineOfTwelveForMoment) {
+  const GpuSpec gpu = V100Spec();
+  int fits = 0;
+  std::vector<std::string> failing;
+  for (const auto& spec : data::UeaSpecs()) {
+    Workload w{spec.train_size, spec.test_size, /*channels=*/5};
+    auto est = EstimateRun(MomentPaperSpec(), gpu, w,
+                           TrainRegime::kAdapterPlusHeadLearnable);
+    if (est.verdict == Verdict::kOk) {
+      ++fits;
+    } else {
+      failing.push_back(spec.name);
+    }
+  }
+  EXPECT_EQ(fits, 9);  // paper: "9 out of 12 datasets for MOMENT"
+  // The three largest-N datasets are the ones that time out.
+  ASSERT_EQ(failing.size(), 3u);
+  EXPECT_EQ(failing[0], "FaceDetection");
+  EXPECT_EQ(failing[1], "PhonemeSpectra");
+  EXPECT_EQ(failing[2], "SpokenArabicDigits");
+}
+
+TEST(CostModelTest, FullFineTuneBehindAdapterFitsStrictlyMoreDatasets) {
+  // Figure 6 / C.5 regime: full fine-tuning *behind* a D'=5 adapter. ViT
+  // fits all 12; MOMENT fits strictly more than the 2 it manages without an
+  // adapter (full FT costs more epochs than adapter+head, so its count lies
+  // between the no-adapter count and the adapter+head count of 9).
+  const GpuSpec gpu = V100Spec();
+  int vit_fits = 0, moment_fits = 0, moment_no_adapter = 0;
+  for (const auto& spec : data::UeaSpecs()) {
+    Workload reduced{spec.train_size, spec.test_size, 5};
+    Workload full{spec.train_size, spec.test_size, spec.channels};
+    if (EstimateRun(VitPaperSpec(), gpu, reduced, TrainRegime::kFullFineTune)
+            .verdict == Verdict::kOk) {
+      ++vit_fits;
+    }
+    if (EstimateRun(MomentPaperSpec(), gpu, reduced,
+                    TrainRegime::kFullFineTune)
+            .verdict == Verdict::kOk) {
+      ++moment_fits;
+    }
+    if (EstimateRun(MomentPaperSpec(), gpu, full, TrainRegime::kFullFineTune)
+            .verdict == Verdict::kOk) {
+      ++moment_no_adapter;
+    }
+  }
+  EXPECT_EQ(vit_fits, 12);
+  EXPECT_EQ(moment_no_adapter, 2);  // Table 1: only Hand and Vowels
+  EXPECT_GT(moment_fits, moment_no_adapter);
+  EXPECT_LE(moment_fits, 9);
+}
+
+// ------------------------- Structural properties ---------------------------
+
+TEST(CostModelTest, EmbedOnceNeverComsOnUeaDatasets) {
+  // Streaming inference with batch 1 fits every dataset in 32 GB for both
+  // models (Table 2's head-only column has entries for every dataset).
+  const GpuSpec gpu = V100Spec();
+  for (const auto& spec : data::UeaSpecs()) {
+    for (const PaperModelSpec& model : {MomentPaperSpec(), VitPaperSpec()}) {
+      Workload w{spec.train_size, spec.test_size, spec.channels};
+      auto est =
+          EstimateRun(model, gpu, w, TrainRegime::kEmbedOnceHeadOnly);
+      EXPECT_NE(est.verdict, Verdict::kCudaOutOfMemory)
+          << model.name << " on " << spec.name;
+    }
+  }
+}
+
+TEST(CostModelTest, MemoryMonotoneInChannels) {
+  const GpuSpec gpu = V100Spec();
+  const PaperModelSpec model = MomentPaperSpec();
+  double prev = 0.0;
+  for (int64_t d : {1, 5, 20, 100, 500}) {
+    Workload w{300, 100, d};
+    auto est = EstimateRun(model, gpu, w, TrainRegime::kFullFineTune);
+    EXPECT_GT(est.peak_memory_bytes, prev);
+    prev = est.peak_memory_bytes;
+  }
+}
+
+TEST(CostModelTest, TimeMonotoneInTrainSize) {
+  const GpuSpec gpu = V100Spec();
+  const PaperModelSpec model = VitPaperSpec();
+  double prev = 0.0;
+  for (int64_t n : {100, 1000, 5000}) {
+    Workload w{n, 100, 5};
+    auto est = EstimateRun(model, gpu, w, TrainRegime::kFullFineTune);
+    EXPECT_GT(est.total_seconds, prev);
+    prev = est.total_seconds;
+  }
+}
+
+TEST(CostModelTest, AdapterReducesSimulatedTimeTenfoldForMoment) {
+  // Figure 1's headline: static adapters (embed-once) are ~10x faster than
+  // the no-adapter head-only baseline for MOMENT on average.
+  const GpuSpec gpu = V100Spec();
+  const PaperModelSpec model = MomentPaperSpec();
+  double with_adapter = 0.0, without = 0.0;
+  for (const auto& spec : data::UeaSpecs()) {
+    Workload reduced{spec.train_size, spec.test_size, 5};
+    Workload full{spec.train_size, spec.test_size, spec.channels};
+    with_adapter +=
+        EstimateRun(model, gpu, reduced, TrainRegime::kEmbedOnceHeadOnly)
+            .total_seconds;
+    without += EstimateRun(model, gpu, full, TrainRegime::kEmbedOnceHeadOnly)
+                   .total_seconds;
+  }
+  EXPECT_GT(without / with_adapter, 5.0);
+}
+
+TEST(CostModelTest, FullFineTuneCostsMoreMemoryThanHeadOnly) {
+  const GpuSpec gpu = V100Spec();
+  Workload w{300, 100, 20};
+  for (const PaperModelSpec& model : {MomentPaperSpec(), VitPaperSpec()}) {
+    auto full = EstimateRun(model, gpu, w, TrainRegime::kFullFineTune);
+    auto head = EstimateRun(model, gpu, w, TrainRegime::kEmbedOnceHeadOnly);
+    EXPECT_GT(full.peak_memory_bytes, head.peak_memory_bytes);
+    EXPECT_GT(full.optimizer_bytes, 0.0);
+    EXPECT_EQ(head.optimizer_bytes, 0.0);
+  }
+}
+
+TEST(CostModelTest, ComCheckedBeforeTimeout) {
+  // A run that can't allocate reports COM even if it would also be slow.
+  const GpuSpec gpu = V100Spec();
+  Workload w{100000, 100, 2000};
+  auto est =
+      EstimateRun(MomentPaperSpec(), gpu, w, TrainRegime::kFullFineTune);
+  EXPECT_EQ(est.verdict, Verdict::kCudaOutOfMemory);
+}
+
+TEST(VerdictStringTest, Names) {
+  EXPECT_STREQ(resources::VerdictString(Verdict::kOk), "OK");
+  EXPECT_STREQ(resources::VerdictString(Verdict::kCudaOutOfMemory), "COM");
+  EXPECT_STREQ(resources::VerdictString(Verdict::kTimeout), "TO");
+  EXPECT_STREQ(resources::TrainRegimeName(TrainRegime::kFullFineTune),
+               "full_fine_tune");
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -1,0 +1,286 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+TEST(BroadcastTest, Shapes) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(BroadcastShapes({}, {2, 2}), (Shape{2, 2}));
+}
+
+TEST(BroadcastTest, Compatibility) {
+  EXPECT_TRUE(ShapesBroadcastable({2, 3}, {1, 3}));
+  EXPECT_FALSE(ShapesBroadcastable({2, 3}, {2, 4}));
+  EXPECT_TRUE(ShapesBroadcastable({5}, {4, 1}));
+}
+
+TEST(ElementwiseTest, AddSameShape) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.at({1, 1}), 44.0f);
+}
+
+TEST(ElementwiseTest, AddBroadcastBias) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias(Shape{3}, {10, 20, 30});
+  Tensor c = Add(a, bias);
+  EXPECT_EQ(c.at({0, 0}), 11.0f);
+  EXPECT_EQ(c.at({1, 2}), 36.0f);
+}
+
+TEST(ElementwiseTest, MulBroadcastColumn) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col(Shape{2, 1}, {2, 3});
+  Tensor c = Mul(a, col);
+  EXPECT_EQ(c.at({0, 2}), 6.0f);
+  EXPECT_EQ(c.at({1, 0}), 12.0f);
+}
+
+TEST(ElementwiseTest, SubDivMaximum) {
+  Tensor a(Shape{3}, {4, 9, 16});
+  Tensor b(Shape{3}, {2, 3, 4});
+  EXPECT_EQ(Sub(a, b)[1], 6.0f);
+  EXPECT_EQ(Div(a, b)[2], 4.0f);
+  EXPECT_EQ(Maximum(a, b)[0], 4.0f);
+}
+
+TEST(ElementwiseTest, ReduceToShapeSumsBroadcastAxes) {
+  Tensor g(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = ReduceToShape(g, Shape{3});
+  EXPECT_EQ(r.shape(), (Shape{3}));
+  EXPECT_EQ(r[0], 5.0f);
+  EXPECT_EQ(r[2], 9.0f);
+  Tensor r2 = ReduceToShape(g, Shape{2, 1});
+  EXPECT_EQ(r2.at({0, 0}), 6.0f);
+  EXPECT_EQ(r2.at({1, 0}), 15.0f);
+}
+
+TEST(UnaryTest, Basics) {
+  Tensor t(Shape{3}, {-1, 0, 2});
+  EXPECT_EQ(Neg(t)[0], 1.0f);
+  EXPECT_EQ(Relu(t)[0], 0.0f);
+  EXPECT_EQ(Relu(t)[2], 2.0f);
+  EXPECT_EQ(Abs(t)[0], 1.0f);
+  EXPECT_EQ(Square(t)[2], 4.0f);
+  EXPECT_NEAR(Exp(t)[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(t)[1], 0.5f, 1e-6f);
+  EXPECT_NEAR(Tanh(t)[1], 0.0f, 1e-6f);
+  EXPECT_EQ(Scale(t, 3.0f)[2], 6.0f);
+  EXPECT_EQ(AddScalar(t, 1.0f)[0], 0.0f);
+  EXPECT_NEAR(Pow(Tensor(Shape{1}, {4.0f}), 0.5f)[0], 2.0f, 1e-6f);
+}
+
+TEST(UnaryTest, GeluKnownValues) {
+  // GELU(0) = 0; GELU(x) ~ x for large x; GELU(-large) ~ 0.
+  Tensor t(Shape{3}, {0.0f, 5.0f, -5.0f});
+  Tensor g = Gelu(t);
+  EXPECT_NEAR(g[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(g[1], 5.0f, 1e-3f);
+  EXPECT_NEAR(g[2], 0.0f, 1e-3f);
+}
+
+TEST(MatMulTest, Matches2x2) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at({0, 0}), 19.0f);
+  EXPECT_EQ(c.at({0, 1}), 22.0f);
+  EXPECT_EQ(c.at({1, 0}), 43.0f);
+  EXPECT_EQ(c.at({1, 1}), 50.0f);
+}
+
+TEST(MatMulTest, RectangularAgainstManual) {
+  Rng rng(1);
+  Tensor a = Tensor::RandN({3, 5}, &rng);
+  Tensor b = Tensor::RandN({5, 4}, &rng);
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{3, 4}));
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      float expect = 0;
+      for (int64_t k = 0; k < 5; ++k) expect += a.at({i, k}) * b.at({k, j});
+      EXPECT_NEAR(c.at({i, j}), expect, 1e-4f);
+    }
+  }
+}
+
+TEST(MatMulTest, BatchedEqualBatches) {
+  Rng rng(2);
+  Tensor a = Tensor::RandN({4, 2, 3}, &rng);
+  Tensor b = Tensor::RandN({4, 3, 2}, &rng);
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{4, 2, 2}));
+  // Check batch 2 against the unbatched product.
+  Tensor a2 = Slice(a, 0, 2, 3).Reshape({2, 3});
+  Tensor b2 = Slice(b, 0, 2, 3).Reshape({3, 2});
+  Tensor c2 = MatMul(a2, b2);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(c.at({2, i, j}), c2.at({i, j}), 1e-5f);
+    }
+  }
+}
+
+TEST(MatMulTest, BroadcastsBatchDims) {
+  Rng rng(3);
+  Tensor a = Tensor::RandN({4, 2, 3}, &rng);
+  Tensor w = Tensor::RandN({3, 5}, &rng);  // no batch dims -> broadcast
+  Tensor c = MatMul(a, w);
+  ASSERT_EQ(c.shape(), (Shape{4, 2, 5}));
+  Tensor a0 = Slice(a, 0, 1, 2).Reshape({2, 3});
+  Tensor c0 = MatMul(a0, w);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(c.at({1, i, j}), c0.at({i, j}), 1e-5f);
+    }
+  }
+}
+
+TEST(LayoutTest, TransposeLast2) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = TransposeLast2(a);
+  ASSERT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({0, 1}), 4.0f);
+  EXPECT_EQ(t.at({2, 0}), 3.0f);
+}
+
+TEST(LayoutTest, PermuteRoundTrip) {
+  Rng rng(4);
+  Tensor a = Tensor::RandN({2, 3, 4, 5}, &rng);
+  Tensor p = Permute(a, {0, 2, 1, 3});
+  ASSERT_EQ(p.shape(), (Shape{2, 4, 3, 5}));
+  Tensor back = Permute(p, {0, 2, 1, 3});
+  EXPECT_TRUE(AllClose(a, back));
+  EXPECT_EQ(p.at({1, 3, 2, 4}), a.at({1, 2, 3, 4}));
+}
+
+TEST(LayoutTest, SliceMiddleAxis) {
+  Tensor a(Shape{2, 4, 2});
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a.mutable_data()[i] = static_cast<float>(i);
+  }
+  Tensor s = Slice(a, 1, 1, 3);
+  ASSERT_EQ(s.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(s.at({0, 0, 0}), a.at({0, 1, 0}));
+  EXPECT_EQ(s.at({1, 1, 1}), a.at({1, 2, 1}));
+}
+
+TEST(LayoutTest, ConcatAxis1) {
+  Tensor a = Tensor::Full({2, 1, 2}, 1.0f);
+  Tensor b = Tensor::Full({2, 2, 2}, 2.0f);
+  Tensor c = Concat({a, b}, 1);
+  ASSERT_EQ(c.shape(), (Shape{2, 3, 2}));
+  EXPECT_EQ(c.at({0, 0, 0}), 1.0f);
+  EXPECT_EQ(c.at({0, 2, 1}), 2.0f);
+  EXPECT_EQ(c.at({1, 1, 0}), 2.0f);
+}
+
+TEST(LayoutTest, ConcatThenSliceInverts) {
+  Rng rng(5);
+  Tensor a = Tensor::RandN({3, 2}, &rng);
+  Tensor b = Tensor::RandN({3, 4}, &rng);
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_TRUE(AllClose(Slice(c, 1, 0, 2), a));
+  EXPECT_TRUE(AllClose(Slice(c, 1, 2, 6), b));
+}
+
+TEST(LayoutTest, TakeRows) {
+  Tensor a(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor picked = TakeRows(a, {2, 0, 2});
+  ASSERT_EQ(picked.shape(), (Shape{3, 2}));
+  EXPECT_EQ(picked.at({0, 0}), 5.0f);
+  EXPECT_EQ(picked.at({1, 1}), 2.0f);
+  EXPECT_EQ(picked.at({2, 0}), 5.0f);
+}
+
+TEST(ReductionTest, GlobalReductions) {
+  Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(SumAll(t), 10.0f);
+  EXPECT_EQ(MeanAll(t), 2.5f);
+  EXPECT_EQ(MaxAll(t), 4.0f);
+  EXPECT_EQ(MinAll(t), 1.0f);
+}
+
+TEST(ReductionTest, SumAxis) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = Sum(t, 0);
+  ASSERT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0[0], 5.0f);
+  Tensor s1k = Sum(t, 1, /*keepdim=*/true);
+  ASSERT_EQ(s1k.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s1k.at({1, 0}), 15.0f);
+  Tensor sneg = Sum(t, -1);
+  EXPECT_EQ(sneg[0], 6.0f);
+}
+
+TEST(ReductionTest, MeanVariance) {
+  Tensor t(Shape{1, 4}, {2, 4, 6, 8});
+  EXPECT_EQ(Mean(t, 1)[0], 5.0f);
+  EXPECT_EQ(Variance(t, 1)[0], 5.0f);  // population variance
+}
+
+TEST(ReductionTest, MaxAlongAndArgMax) {
+  Tensor t(Shape{2, 3}, {1, 9, 3, 7, 2, 5});
+  Tensor m = MaxAlong(t, 1);
+  EXPECT_EQ(m[0], 9.0f);
+  EXPECT_EQ(m[1], 7.0f);
+  auto arg = ArgMaxLast(t);
+  EXPECT_EQ(arg[0], 1);
+  EXPECT_EQ(arg[1], 0);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(6);
+  Tensor t = Tensor::RandN({4, 7}, &rng, 3.0f);
+  Tensor s = Softmax(t);
+  for (int64_t i = 0; i < 4; ++i) {
+    float sum = 0;
+    for (int64_t j = 0; j < 7; ++j) {
+      const float v = s.at({i, j});
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Tensor t(Shape{1, 2}, {1000.0f, 999.0f});
+  Tensor s = Softmax(t);
+  EXPECT_TRUE(std::isfinite(s[0]));
+  EXPECT_NEAR(s[0] + s[1], 1.0f, 1e-6f);
+  EXPECT_GT(s[0], s[1]);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(7);
+  Tensor t = Tensor::RandN({3, 5}, &rng);
+  Tensor ls = LogSoftmax(t);
+  Tensor ref = Log(Softmax(t));
+  EXPECT_LT(MaxAbsDiff(ls, ref), 1e-5f);
+}
+
+TEST(NormTest, KnownValue) {
+  Tensor t(Shape{2}, {3, 4});
+  EXPECT_NEAR(Norm(t), 5.0f, 1e-6f);
+}
+
+TEST(AllCloseTest, RespectsTolerance) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f, 2.00001f});
+  EXPECT_TRUE(AllClose(a, b, 1e-4f));
+  EXPECT_FALSE(AllClose(a, b, 1e-7f));
+  Tensor c(Shape{3});
+  EXPECT_FALSE(AllClose(a, c));  // shape mismatch
+}
+
+}  // namespace
+}  // namespace tsfm

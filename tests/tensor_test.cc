@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tsfm {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);  // scalar
+  EXPECT_EQ(NumElements({0}), 0);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromValues) {
+  Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, ScalarAndFull) {
+  Tensor s = Tensor::Scalar(3.5f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s[0], 3.5f);
+  Tensor f = Tensor::Full({3}, 2.0f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(f[i], 2.0f);
+}
+
+TEST(TensorTest, EyeAndArange) {
+  Tensor eye = Tensor::Eye(3);
+  EXPECT_EQ(eye.at({1, 1}), 1.0f);
+  EXPECT_EQ(eye.at({1, 2}), 0.0f);
+  Tensor ar = Tensor::Arange(4);
+  EXPECT_EQ(ar[3], 3.0f);
+}
+
+TEST(TensorTest, NegativeDimAccess) {
+  Tensor t(Shape{2, 3, 5});
+  EXPECT_EQ(t.dim(-1), 5);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_EQ(t.dim(1), 3);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b = a;
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  b.mutable_data()[0] = 9.0f;
+  EXPECT_EQ(a[0], 9.0f);  // shared
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b = a.Clone();
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  b.mutable_data()[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(b.at({2, 1}), 6.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDimension) {
+  Tensor a(Shape{2, 6});
+  Tensor b = a.Reshape({-1, 3});
+  EXPECT_EQ(b.dim(0), 4);
+  EXPECT_EQ(b.dim(1), 3);
+  Tensor c = a.Reshape({3, -1});
+  EXPECT_EQ(c.dim(1), 4);
+}
+
+TEST(TensorTest, RandNStatistics) {
+  Rng rng(17);
+  Tensor t = Tensor::RandN({200, 200}, &rng, 1.5f);
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 2.25, 0.05);
+}
+
+TEST(TensorTest, RandUniformRange) {
+  Rng rng(23);
+  Tensor t = Tensor::RandUniform({1000}, &rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t(Shape{4}, {1, 2, 3, 4});
+  t.Fill(7.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 7.0f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Arange(100);
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(TensorDeathTest, BadValueCountAborts) {
+  EXPECT_DEATH(Tensor(Shape{2, 2}, {1.0f, 2.0f}), "value count");
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor t(Shape{2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "reshape");
+}
+
+TEST(TensorDeathTest, OutOfRangeAtAborts) {
+  Tensor t(Shape{2, 2});
+  EXPECT_DEATH(t.at({2, 0}), "CHECK");
+}
+
+}  // namespace
+}  // namespace tsfm

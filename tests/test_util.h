@@ -1,0 +1,53 @@
+#ifndef TSFM_TESTS_TEST_UTIL_H_
+#define TSFM_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace tsfm::testing {
+
+/// Checks analytic gradients of `fn` (a scalar-valued function of one input
+/// tensor) against central finite differences at `x0`.
+///
+/// `fn` must build its output from a fresh leaf each call so that the tape is
+/// clean. Tolerances are loose-ish because everything is float32.
+inline void ExpectGradientsMatch(
+    const std::function<ag::Var(const ag::Var&)>& fn, const Tensor& x0,
+    float epsilon = 1e-2f, float rtol = 5e-2f, float atol = 5e-3f) {
+  // Analytic gradient.
+  ag::Var leaf(x0.Clone(), /*requires_grad=*/true);
+  ag::Var out = fn(leaf);
+  ASSERT_EQ(out.value().numel(), 1) << "gradcheck needs a scalar output";
+  out.Backward();
+  Tensor analytic = leaf.grad();
+
+  // Central differences.
+  Tensor numeric(x0.shape());
+  Tensor probe = x0.Clone();
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    const float orig = probe.mutable_data()[i];
+    probe.mutable_data()[i] = orig + epsilon;
+    const float up = fn(ag::Var(probe.Clone(), false)).value()[0];
+    probe.mutable_data()[i] = orig - epsilon;
+    const float down = fn(ag::Var(probe.Clone(), false)).value()[0];
+    probe.mutable_data()[i] = orig;
+    numeric.mutable_data()[i] = (up - down) / (2.0f * epsilon);
+  }
+
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    const float a = analytic[i];
+    const float n = numeric[i];
+    const float tol = atol + rtol * std::fabs(n);
+    EXPECT_NEAR(a, n, tol) << "gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace tsfm::testing
+
+#endif  // TSFM_TESTS_TEST_UTIL_H_

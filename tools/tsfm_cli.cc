@@ -1,0 +1,220 @@
+// tsfm — command-line front end to the adapter library.
+//
+//   tsfm datasets
+//       List the built-in UEA-like dataset specs.
+//   tsfm generate --dataset NATOPS [--seed 0] [--out dir] [--full]
+//       Write train/test CSVs of a synthetic dataset.
+//   tsfm estimate --dataset NATOPS --model MOMENT --regime full|head|lcomb
+//       Paper-scale V100 verdict (COM/TO/OK) with memory and time.
+//   tsfm classify --train a.csv --test b.csv [--model moment|vit]
+//                 [--adapter PCA|SVD|Rand_Proj|VAR|lcomb|lcomb_top_k|LDA|none]
+//                 [--dprime 5] [--checkpoint path]
+//       Fine-tune on your own CSV data and report accuracy.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/adapter.h"
+#include "data/csv.h"
+#include "data/uea_like.h"
+#include "finetune/classifier.h"
+#include "resources/cost_model.h"
+
+namespace tsfm::cli {
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap ParseArgs(int argc, char** argv, int start) {
+  ArgMap args;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  // Flags without values.
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) args["full"] = "1";
+  }
+  return args;
+}
+
+std::string GetOr(const ArgMap& args, const std::string& key,
+                  const std::string& fallback) {
+  auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+int CmdDatasets() {
+  std::printf("%-24s %6s %6s %9s %7s %8s\n", "name", "train", "test",
+              "channels", "length", "classes");
+  for (const auto& spec : data::UeaSpecs()) {
+    std::printf("%-24s %6lld %6lld %9lld %7lld %8lld\n", spec.name.c_str(),
+                static_cast<long long>(spec.train_size),
+                static_cast<long long>(spec.test_size),
+                static_cast<long long>(spec.channels),
+                static_cast<long long>(spec.length),
+                static_cast<long long>(spec.classes));
+  }
+  return 0;
+}
+
+int CmdGenerate(const ArgMap& args) {
+  auto spec = data::FindUeaSpec(GetOr(args, "dataset", "NATOPS"));
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t seed = std::stoull(GetOr(args, "seed", "0"));
+  const std::string out = GetOr(args, "out", ".");
+  const data::GeneratorCaps caps = args.count("full")
+                                       ? data::GeneratorCaps{}
+                                       : data::DefaultCaps();
+  data::DatasetPair pair = data::GenerateUeaLike(*spec, seed, caps);
+  const std::string train_path = out + "/" + spec->abbrev + "_train.csv";
+  const std::string test_path = out + "/" + spec->abbrev + "_test.csv";
+  if (auto s = data::SaveCsv(pair.train, train_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (auto s = data::SaveCsv(pair.test, test_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%lld samples) and %s (%lld samples)\n",
+              train_path.c_str(), static_cast<long long>(pair.train.size()),
+              test_path.c_str(), static_cast<long long>(pair.test.size()));
+  return 0;
+}
+
+int CmdEstimate(const ArgMap& args) {
+  auto spec = data::FindUeaSpec(GetOr(args, "dataset", "NATOPS"));
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  const std::string model_name = GetOr(args, "model", "MOMENT");
+  const resources::PaperModelSpec model =
+      model_name == "ViT" || model_name == "vit" ? resources::VitPaperSpec()
+                                                 : resources::MomentPaperSpec();
+  const std::string regime_name = GetOr(args, "regime", "full");
+  resources::TrainRegime regime = resources::TrainRegime::kFullFineTune;
+  int64_t channels = spec->channels;
+  if (regime_name == "head") {
+    regime = resources::TrainRegime::kEmbedOnceHeadOnly;
+  } else if (regime_name == "lcomb") {
+    regime = resources::TrainRegime::kAdapterPlusHeadLearnable;
+    channels = std::stoll(GetOr(args, "dprime", "5"));
+  } else if (regime_name != "full") {
+    std::fprintf(stderr, "unknown regime '%s' (full|head|lcomb)\n",
+                 regime_name.c_str());
+    return 1;
+  }
+  resources::Workload workload{spec->train_size, spec->test_size, channels};
+  auto est = resources::EstimateRun(model, resources::V100Spec(), workload,
+                                    regime);
+  std::printf("%s on %s, %s, D=%lld:\n", model.name.c_str(),
+              spec->name.c_str(), resources::TrainRegimeName(regime),
+              static_cast<long long>(channels));
+  std::printf("  peak memory  %.1f GB (V100 budget: 32 GB)\n",
+              est.peak_memory_bytes / (1ull << 30));
+  std::printf("  time         %.0f s (budget: 7200 s)\n", est.total_seconds);
+  std::printf("  verdict      %s\n", resources::VerdictString(est.verdict));
+  return est.verdict == resources::Verdict::kOk ? 0 : 2;
+}
+
+int CmdClassify(const ArgMap& args) {
+  const std::string train_path = GetOr(args, "train", "");
+  const std::string test_path = GetOr(args, "test", "");
+  if (train_path.empty() || test_path.empty()) {
+    std::fprintf(stderr, "classify needs --train and --test CSV paths\n");
+    return 1;
+  }
+  auto train = data::LoadCsv(train_path, "train");
+  if (!train.ok()) {
+    std::fprintf(stderr, "train: %s\n", train.status().ToString().c_str());
+    return 1;
+  }
+  auto test = data::LoadCsv(test_path, "test");
+  if (!test.ok()) {
+    std::fprintf(stderr, "test: %s\n", test.status().ToString().c_str());
+    return 1;
+  }
+  // Splits may disagree on inferred class counts; align them.
+  const int64_t classes = std::max(train->num_classes, test->num_classes);
+  train->num_classes = classes;
+  test->num_classes = classes;
+
+  finetune::ClassifierConfig config;
+  const std::string model_name = GetOr(args, "model", "moment");
+  config.model_kind = model_name == "vit" || model_name == "ViT"
+                          ? models::ModelKind::kVit
+                          : models::ModelKind::kMoment;
+  config.checkpoint_path =
+      GetOr(args, "checkpoint",
+            std::string("checkpoints/cli_") + model_name + ".ckpt");
+  const std::string adapter_name = GetOr(args, "adapter", "PCA");
+  if (adapter_name == "none") {
+    config.adapter.reset();
+  } else {
+    bool found = false;
+    for (auto kind :
+         {core::AdapterKind::kPca, core::AdapterKind::kSvd,
+          core::AdapterKind::kRandProj, core::AdapterKind::kVar,
+          core::AdapterKind::kLcomb, core::AdapterKind::kLcombTopK,
+          core::AdapterKind::kLda}) {
+      if (adapter_name == core::AdapterKindName(kind)) {
+        config.adapter = kind;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown adapter '%s'\n", adapter_name.c_str());
+      return 1;
+    }
+  }
+  config.adapter_options.out_channels =
+      std::stoll(GetOr(args, "dprime", "5"));
+
+  auto classifier = finetune::TsfmClassifier::Create(config);
+  if (!classifier.ok()) {
+    std::fprintf(stderr, "%s\n", classifier.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = classifier->Fit(*train, &*test); !s.ok()) {
+    std::fprintf(stderr, "fit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto& result = classifier->last_fit_result();
+  std::printf("model=%s adapter=%s D'=%lld\n", model_name.c_str(),
+              adapter_name.c_str(),
+              static_cast<long long>(config.adapter_options.out_channels));
+  std::printf("train accuracy %.4f\n", result.train_accuracy);
+  std::printf("test accuracy  %.4f\n", result.test_accuracy);
+  std::printf("total seconds  %.2f\n", result.total_seconds);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tsfm <datasets|generate|estimate|classify> [--args]\n"
+               "see the header of tools/tsfm_cli.cc for details\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const ArgMap args = ParseArgs(argc, argv, 2);
+  if (command == "datasets") return CmdDatasets();
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "estimate") return CmdEstimate(args);
+  if (command == "classify") return CmdClassify(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tsfm::cli
+
+int main(int argc, char** argv) { return tsfm::cli::Main(argc, argv); }
