@@ -7,6 +7,7 @@
 #include "autograd/ops.h"
 #include "common/rng.h"
 #include "linalg/linalg.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm {
@@ -22,7 +23,7 @@ void BM_MatMulSquare(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatMulSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMulSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_MatMulBatched(benchmark::State& state) {
   const int64_t batch = state.range(0);
@@ -109,6 +110,30 @@ void BM_AutogradBackwardMlp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AutogradBackwardMlp);
+
+// Parallel speedup of the 512^3 matmul across pool sizes. Registered last
+// (and restoring the ambient thread count per run) so the pool-size sweep
+// never bleeds into the single-configuration benchmarks above.
+void BM_MatMulSquareThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const int ambient = runtime::NumThreads();
+  runtime::SetNumThreads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::RandN({n, n}, &rng);
+  Tensor b = Tensor::RandN({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.counters["threads"] = threads;
+  runtime::SetNumThreads(ambient);
+}
+BENCHMARK(BM_MatMulSquareThreads)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8});
 
 }  // namespace
 }  // namespace tsfm

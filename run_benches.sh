@@ -19,5 +19,7 @@ for b in bench_micro_kernels bench_micro_adapters bench_micro_encoder; do
   echo "================================================================"
   echo "== $b"
   echo "================================================================"
-  ./build/bench/$b --benchmark_min_time=0.05 2>/dev/null
+  ./build/bench/$b --benchmark_min_time=0.05 \
+    --benchmark_out="$TSFM_BENCH_OUT/BENCH_${b#bench_}.json" \
+    --benchmark_out_format=json 2>/dev/null
 done

@@ -7,6 +7,7 @@
 #include "autograd/ops.h"
 #include "linalg/linalg.h"
 #include "optim/optim.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm::baselines {
@@ -106,37 +107,42 @@ Result<Tensor> RocketClassifier::ExtractFeatures(const Tensor& x) const {
   Tensor features(Shape{n, 2 * k});
   const float* px = x.data();
   float* pf = features.mutable_data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* sample = px + i * t_len * d;
-    for (int64_t j = 0; j < k; ++j) {
-      const Kernel& kernel = kernels_[static_cast<size_t>(j)];
-      const int64_t len = static_cast<int64_t>(kernel.weights.size());
-      const int64_t span = (len - 1) * kernel.dilation;
-      const int64_t pad = kernel.padding ? span / 2 : 0;
-      const int64_t out_len = t_len + 2 * pad - span;
-      int64_t positives = 0;
-      float max_val = -std::numeric_limits<float>::infinity();
-      for (int64_t start = -pad; start < -pad + std::max<int64_t>(out_len, 0);
-           ++start) {
-        float acc = kernel.bias;
-        for (int64_t w = 0; w < len; ++w) {
-          const int64_t pos = start + w * kernel.dilation;
-          if (pos < 0 || pos >= t_len) continue;  // zero padding
-          acc += kernel.weights[static_cast<size_t>(w)] *
-                 sample[pos * d + kernel.channel];
+  // Kernel application is embarrassingly parallel over samples: each sample
+  // writes its own feature row, and per-kernel results depend only on that
+  // sample, so outputs are identical for any thread count.
+  runtime::ParallelFor(0, n, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* sample = px + i * t_len * d;
+      for (int64_t j = 0; j < k; ++j) {
+        const Kernel& kernel = kernels_[static_cast<size_t>(j)];
+        const int64_t len = static_cast<int64_t>(kernel.weights.size());
+        const int64_t span = (len - 1) * kernel.dilation;
+        const int64_t pad = kernel.padding ? span / 2 : 0;
+        const int64_t out_len = t_len + 2 * pad - span;
+        int64_t positives = 0;
+        float max_val = -std::numeric_limits<float>::infinity();
+        for (int64_t start = -pad; start < -pad + std::max<int64_t>(out_len, 0);
+             ++start) {
+          float acc = kernel.bias;
+          for (int64_t w = 0; w < len; ++w) {
+            const int64_t pos = start + w * kernel.dilation;
+            if (pos < 0 || pos >= t_len) continue;  // zero padding
+            acc += kernel.weights[static_cast<size_t>(w)] *
+                   sample[pos * d + kernel.channel];
+          }
+          if (acc > 0.0f) ++positives;
+          max_val = std::max(max_val, acc);
         }
-        if (acc > 0.0f) ++positives;
-        max_val = std::max(max_val, acc);
+        const float ppv =
+            out_len > 0 ? static_cast<float>(positives) /
+                              static_cast<float>(out_len)
+                        : 0.0f;
+        pf[i * 2 * k + 2 * j] = ppv;
+        pf[i * 2 * k + 2 * j + 1] =
+            std::isfinite(max_val) ? max_val : 0.0f;
       }
-      const float ppv =
-          out_len > 0 ? static_cast<float>(positives) /
-                            static_cast<float>(out_len)
-                      : 0.0f;
-      pf[i * 2 * k + 2 * j] = ppv;
-      pf[i * 2 * k + 2 * j + 1] =
-          std::isfinite(max_val) ? max_val : 0.0f;
     }
-  }
+  });
   return features;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/io_util.h"
 #include "linalg/linalg.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm::core {
@@ -70,35 +71,45 @@ Status LdaAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
   Tensor sw = Tensor::Zeros(Shape{d, d});
   {
     // Sw = (1/total) sum_i (x_i - mu_{c(i)}) (x_i - mu_{c(i)})^T computed as
-    // centered-rows Gram.
+    // centered-rows Gram. Centering is elementwise per sample (disjoint
+    // output rows), so it parallelizes freely; the Gram accumulation itself
+    // runs on the parallel MatMul.
     Tensor centered(Shape{n * t, d});
     float* pc = centered.mutable_data();
-    for (int64_t i = 0; i < n; ++i) {
-      const float* cm =
-          class_means.data() + y[static_cast<size_t>(i)] * d;
-      for (int64_t s = 0; s < t; ++s) {
-        const float* row = pr + (i * t + s) * d;
-        float* dst = pc + (i * t + s) * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] = row[j] - cm[j];
+    const int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, t * d));
+    runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const float* cm =
+            class_means.data() + y[static_cast<size_t>(i)] * d;
+        for (int64_t s = 0; s < t; ++s) {
+          const float* row = pr + (i * t + s) * d;
+          float* dst = pc + (i * t + s) * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] = row[j] - cm[j];
+        }
       }
-    }
+    });
     sw = Scale(MatMul(TransposeLast2(centered), centered),
                1.0f / static_cast<float>(total));
   }
+  // Between-class scatter, parallel over output rows. The class loop stays
+  // innermost-ascending per row, preserving the serial accumulation order.
   Tensor sb = Tensor::Zeros(Shape{d, d});
-  for (int64_t c = 0; c < num_classes; ++c) {
-    if (counts[static_cast<size_t>(c)] == 0) continue;
-    const float weight = static_cast<float>(counts[static_cast<size_t>(c)]) /
-                         static_cast<float>(total);
-    const float* cm = class_means.data() + c * d;
-    for (int64_t i = 0; i < d; ++i) {
-      const float di = cm[i] - mean_[i];
+  runtime::ParallelFor(0, d, /*grain=*/32, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
       float* row = sb.mutable_data() + i * d;
-      for (int64_t j = 0; j < d; ++j) {
-        row[j] += weight * di * (cm[j] - mean_[j]);
+      for (int64_t c = 0; c < num_classes; ++c) {
+        if (counts[static_cast<size_t>(c)] == 0) continue;
+        const float weight =
+            static_cast<float>(counts[static_cast<size_t>(c)]) /
+            static_cast<float>(total);
+        const float* cm = class_means.data() + c * d;
+        const float di = cm[i] - mean_[i];
+        for (int64_t j = 0; j < d; ++j) {
+          row[j] += weight * di * (cm[j] - mean_[j]);
+        }
       }
     }
-  }
+  });
 
   // Regularized whitening of Sw.
   const float trace_scale =

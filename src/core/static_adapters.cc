@@ -8,6 +8,7 @@
 
 #include "core/io_util.h"
 #include "linalg/linalg.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm::core {
@@ -194,13 +195,17 @@ Result<Tensor> VarAdapter::Transform(const Tensor& x) const {
   const float* pi = x.data();
   float* po = out.mutable_data();
   const int64_t d = in_channels_;
-  for (int64_t row = 0; row < n * t; ++row) {
-    const float* src = pi + row * d;
-    float* dst = po + row * out_channels_;
-    for (int64_t j = 0; j < out_channels_; ++j) {
-      dst[j] = src[selected_[static_cast<size_t>(j)]];
+  const int64_t grain =
+      std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, out_channels_));
+  runtime::ParallelFor(0, n * t, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t row = lo; row < hi; ++row) {
+      const float* src = pi + row * d;
+      float* dst = po + row * out_channels_;
+      for (int64_t j = 0; j < out_channels_; ++j) {
+        dst[j] = src[selected_[static_cast<size_t>(j)]];
+      }
     }
-  }
+  });
   return out;
 }
 

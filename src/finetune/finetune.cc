@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "optim/optim.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm::finetune {
@@ -73,17 +74,29 @@ const char* StrategyName(Strategy strategy) {
 
 Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
                     int64_t batch_size, uint64_t seed) {
-  ag::NoGradGuard guard;
-  Rng rng(seed);
-  nn::ForwardContext ctx{/*training=*/false, &rng};
   const int64_t n = x.dim(0);
-  std::vector<Tensor> chunks;
-  for (int64_t start = 0; start < n; start += batch_size) {
-    const int64_t end = std::min(n, start + batch_size);
-    Tensor xb = Slice(x, 0, start, end);
-    ag::Var emb = model.EncodeChannels(ag::Constant(xb), ctx);
-    chunks.push_back(emb.value());
-  }
+  const int64_t bs = std::max<int64_t>(1, batch_size);
+  const int64_t num_batches = (n + bs - 1) / bs;
+  std::vector<Tensor> chunks(static_cast<size_t>(num_batches));
+  // Batches are independent under the frozen encoder, so they embed in
+  // parallel; results land in per-batch slots and concatenate in batch
+  // order, so the output matches the serial loop exactly. The NoGradGuard
+  // (thread-local) and the inference Rng are per task: evaluation forward
+  // passes never consume randomness, so per-task re-seeding is equivalent
+  // to the former shared stream.
+  runtime::ParallelFor(0, num_batches, /*grain=*/1, [&](int64_t lo,
+                                                        int64_t hi) {
+    ag::NoGradGuard guard;
+    Rng rng(seed);
+    nn::ForwardContext ctx{/*training=*/false, &rng};
+    for (int64_t b = lo; b < hi; ++b) {
+      const int64_t start = b * bs;
+      const int64_t end = std::min(n, start + bs);
+      Tensor xb = Slice(x, 0, start, end);
+      ag::Var emb = model.EncodeChannels(ag::Constant(xb), ctx);
+      chunks[static_cast<size_t>(b)] = emb.value();
+    }
+  });
   return Concat(chunks, 0);
 }
 
@@ -215,21 +228,34 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   result.final_loss = last;
   result.train_seconds = SecondsSince(t_train);
 
-  // 4. Evaluate end-to-end.
+  // 4. Evaluate end-to-end. Batches are independent under NoGrad, so they
+  // run in parallel; per-batch predictions are stitched together in batch
+  // order so the result matches the serial loop.
   auto evaluate = [&](const data::TimeSeriesDataset& ds) -> Result<double> {
-    ag::NoGradGuard guard;
-    Rng eval_rng(options.seed + 99);
-    nn::ForwardContext ctx{/*training=*/false, &eval_rng};
+    const int64_t bs = std::max<int64_t>(1, options.batch_size);
+    const int64_t num_batches = (ds.size() + bs - 1) / bs;
+    std::vector<std::vector<int64_t>> batch_preds(
+        static_cast<size_t>(num_batches));
+    runtime::ParallelFor(0, num_batches, /*grain=*/1, [&](int64_t lo,
+                                                          int64_t hi) {
+      ag::NoGradGuard guard;
+      Rng eval_rng(options.seed + 99);
+      nn::ForwardContext ctx{/*training=*/false, &eval_rng};
+      for (int64_t b = lo; b < hi; ++b) {
+        const int64_t start = b * bs;
+        const int64_t end = std::min(ds.size(), start + bs);
+        Tensor xb = Slice(ds.x, 0, start, end);
+        ag::Var input = ag::Constant(xb);
+        if (adapter != nullptr) input = adapter->TransformVar(input);
+        ag::Var emb = model->EncodeChannels(input, ctx);
+        ag::Var logits = head.Forward(emb);
+        batch_preds[static_cast<size_t>(b)] = Predict(logits.value());
+      }
+    });
     std::vector<int64_t> preds;
     preds.reserve(static_cast<size_t>(ds.size()));
-    for (int64_t start = 0; start < ds.size(); start += options.batch_size) {
-      const int64_t end = std::min(ds.size(), start + options.batch_size);
-      Tensor xb = Slice(ds.x, 0, start, end);
-      ag::Var input = ag::Constant(xb);
-      if (adapter != nullptr) input = adapter->TransformVar(input);
-      ag::Var emb = model->EncodeChannels(input, ctx);
-      ag::Var logits = head.Forward(emb);
-      for (int64_t p : Predict(logits.value())) preds.push_back(p);
+    for (const auto& bp : batch_preds) {
+      preds.insert(preds.end(), bp.begin(), bp.end());
     }
     return data::Accuracy(preds, ds);
   };

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm {
@@ -42,28 +43,39 @@ Result<EigenResult> SymmetricEigen(const Tensor& a, int max_sweeps,
                                    ShapeToString(a.shape()));
   }
   const int64_t d = a.dim(0);
-  // Verify symmetry relative to the matrix scale.
+  // Verify symmetry relative to the matrix scale. Parallel over rows; each
+  // chunk reports whether it saw a violation.
   const float scale = std::max(1.0f, MaxAll(Abs(a)));
-  for (int64_t i = 0; i < d; ++i) {
-    for (int64_t j = i + 1; j < d; ++j) {
-      if (std::fabs(a.at({i, j}) - a.at({j, i})) > symmetry_tol * scale) {
-        return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
-      }
-    }
+  const float* pa = a.data();
+  const bool asymmetric = runtime::ParallelReduce(
+      0, d, /*grain=*/64, false,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int64_t j = i + 1; j < d; ++j) {
+            if (std::fabs(pa[i * d + j] - pa[j * d + i]) >
+                symmetry_tol * scale) {
+              return true;
+            }
+          }
+        }
+        return false;
+      },
+      [](bool acc, bool part) { return acc || part; });
+  if (asymmetric) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
   }
 
-  // Work in double for stability.
+  // Work in double for stability; symmetrize to kill small asymmetries.
+  // Reads the float source, writes disjoint rows — safe to parallelize.
   std::vector<double> m(static_cast<size_t>(d * d));
-  for (int64_t i = 0; i < d * d; ++i) m[static_cast<size_t>(i)] = a[i];
-  // Symmetrize to kill small asymmetries.
-  for (int64_t i = 0; i < d; ++i) {
-    for (int64_t j = 0; j < d; ++j) {
-      const double avg = 0.5 * (m[static_cast<size_t>(i * d + j)] +
-                                m[static_cast<size_t>(j * d + i)]);
-      m[static_cast<size_t>(i * d + j)] = avg;
-      m[static_cast<size_t>(j * d + i)] = avg;
+  runtime::ParallelFor(0, d, /*grain=*/64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        m[static_cast<size_t>(i * d + j)] =
+            0.5 * (static_cast<double>(pa[i * d + j]) + pa[j * d + i]);
+      }
     }
-  }
+  });
   std::vector<double> v(static_cast<size_t>(d * d), 0.0);
   for (int64_t i = 0; i < d; ++i) v[static_cast<size_t>(i * d + i)] = 1.0;
 
@@ -132,15 +144,17 @@ Result<EigenResult> SymmetricEigen(const Tensor& a, int max_sweeps,
   });
 
   EigenResult result{Tensor(Shape{d}), Tensor(Shape{d, d})};
-  for (int64_t k = 0; k < d; ++k) {
-    const int64_t src = order[static_cast<size_t>(k)];
-    result.eigenvalues.mutable_data()[k] =
-        static_cast<float>(m[static_cast<size_t>(src * d + src)]);
-    for (int64_t i = 0; i < d; ++i) {
-      result.eigenvectors.mutable_data()[i * d + k] =
-          static_cast<float>(v[static_cast<size_t>(i * d + src)]);
+  runtime::ParallelFor(0, d, /*grain=*/16, [&](int64_t lo, int64_t hi) {
+    for (int64_t k = lo; k < hi; ++k) {
+      const int64_t src = order[static_cast<size_t>(k)];
+      result.eigenvalues.mutable_data()[k] =
+          static_cast<float>(m[static_cast<size_t>(src * d + src)]);
+      for (int64_t i = 0; i < d; ++i) {
+        result.eigenvectors.mutable_data()[i * d + k] =
+            static_cast<float>(v[static_cast<size_t>(i * d + src)]);
+      }
     }
-  }
+  });
   return result;
 }
 
@@ -183,16 +197,19 @@ Result<EigenResult> TopKEigen(const Tensor& a, int64_t k, uint64_t seed,
       continue;
     }
     q = qr->q;
-    // Rayleigh quotients as convergence probe.
+    // Rayleigh quotients as convergence probe. Parallel over columns; each
+    // column's dot product stays serial over i, so values are unchanged.
     Tensor aq = MatMul(a, q);
     Tensor eigs(Shape{block});
-    for (int64_t j = 0; j < block; ++j) {
-      double num = 0.0;
-      for (int64_t i = 0; i < d; ++i) {
-        num += static_cast<double>(q.at({i, j})) * aq.at({i, j});
+    runtime::ParallelFor(0, block, /*grain=*/2, [&](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        double num = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+          num += static_cast<double>(q.at({i, j})) * aq.at({i, j});
+        }
+        eigs.mutable_data()[j] = static_cast<float>(num);
       }
-      eigs.mutable_data()[j] = static_cast<float>(num);
-    }
+    });
     double delta = 0.0;
     for (int64_t j = 0; j < k; ++j) {
       delta = std::max(delta, static_cast<double>(std::fabs(
@@ -247,13 +264,18 @@ Result<SvdResult> TruncatedSvd(const Tensor& x, int64_t k) {
     }
   }
   Tensor xu = MatMul(x, v_top);  // (n, k)
-  for (int64_t j = 0; j < k; ++j) {
-    const float sv = out.s[j];
-    const float inv = sv > 1e-12f ? 1.0f / sv : 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      out.u.at({i, j}) = xu.at({i, j}) * inv;
+  const float* ps = out.s.data();
+  const float* pxu = xu.data();
+  float* pu = out.u.mutable_data();
+  runtime::ParallelFor(0, n, /*grain=*/1024, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < k; ++j) {
+        const float sv = ps[j];
+        const float inv = sv > 1e-12f ? 1.0f / sv : 0.0f;
+        pu[i * k + j] = pxu[i * k + j] * inv;
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -4,9 +4,18 @@
 #include <cmath>
 #include <functional>
 
+#include "runtime/thread_pool.h"
+
 namespace tsfm {
 
 namespace {
+
+// Elementwise kernels dispatch through ParallelFor with this grain, so
+// tensors smaller than one chunk run inline with zero scheduling cost.
+constexpr int64_t kElementwiseGrain = 1 << 14;
+// Reductions use a larger grain: chunk boundaries are part of the
+// determinism contract, so the value must not depend on the thread count.
+constexpr int64_t kReduceGrain = 1 << 16;
 
 // Row-major strides for `shape`.
 std::vector<int64_t> Strides(const Shape& shape) {
@@ -46,8 +55,12 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    runtime::ParallelFor(0, a.numel(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = f(pa[i], pb[i]);
+                           }
+                         });
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
@@ -55,7 +68,6 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   const auto sa = BroadcastStrides(a.shape(), out_shape);
   const auto sb = BroadcastStrides(b.shape(), out_shape);
   const auto so = Strides(out_shape);
-  const int64_t n = out.numel();
   const int64_t nd = static_cast<int64_t>(out_shape.size());
   const float* pa = a.data();
   const float* pb = b.data();
@@ -63,16 +75,19 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   // Fast path: identical shapes except `b` broadcast along trailing axis run
   // (common bias-add pattern) is handled by the generic loop below; the index
   // decomposition is cheap relative to float ops for our sizes.
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t ia = 0, ib = 0, rem = i;
-    for (int64_t d = 0; d < nd; ++d) {
-      const int64_t idx = rem / so[d];
-      rem -= idx * so[d];
-      ia += idx * sa[d];
-      ib += idx * sb[d];
-    }
-    po[i] = f(pa[ia], pb[ib]);
-  }
+  runtime::ParallelFor(
+      0, out.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          int64_t ia = 0, ib = 0, rem = i;
+          for (int64_t d = 0; d < nd; ++d) {
+            const int64_t idx = rem / so[d];
+            rem -= idx * so[d];
+            ia += idx * sa[d];
+            ib += idx * sb[d];
+          }
+          po[i] = f(pa[ia], pb[ib]);
+        }
+      });
   return out;
 }
 
@@ -81,8 +96,10 @@ Tensor UnaryOp(const Tensor& t, F f) {
   Tensor out(t.shape());
   const float* p = t.data();
   float* po = out.mutable_data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(p[i]);
+  runtime::ParallelFor(0, t.numel(), kElementwiseGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) po[i] = f(p[i]);
+                       });
   return out;
 }
 
@@ -221,6 +238,71 @@ Tensor Pow(const Tensor& t, float p) {
   return UnaryOp(t, [p](float x) { return std::pow(x, p); });
 }
 
+namespace {
+
+// Register-blocked GEMM tile: kMr C rows are accumulated against kNr C
+// columns in a local array small enough to live in vector registers, so a
+// B row segment is loaded once per kMr rows instead of once per row, and
+// kMr independent accumulation chains hide FMA latency. The column width
+// tracks the widest vector unit the build targets (2 vector registers per
+// row). Every output element still accumulates its k products in
+// ascending-k order, so the result is independent of the tiling and of the
+// thread count.
+#if defined(__AVX512F__)
+constexpr int kNr = 32;
+#elif defined(__AVX__)
+constexpr int kNr = 16;
+#else
+constexpr int kNr = 8;
+#endif
+constexpr int kMr = 6;
+// Rows per parallel task (a multiple of kMr so parallel splits and the
+// serial path tile rows identically).
+constexpr int64_t kRowsPerBlock = 60;
+
+// C[r0:r1, :] = A[r0:r1, :] * B for one (m, k) x (k, n) problem. Tiling is
+// anchored at r0, so callers must pass r0 aligned to the same row-block
+// grid regardless of how the row range is split.
+void MatMulRowRange(const float* pa, const float* pb, float* po, int64_t r0,
+                    int64_t r1, int64_t k, int64_t n) {
+  for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+    const int64_t mr = std::min<int64_t>(kMr, r1 - i0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const int64_t nr = std::min<int64_t>(kNr, n - j0);
+      float acc[kMr * kNr] = {0.0f};
+      if (mr == kMr && nr == kNr) {
+        // Full tile: fixed trip counts, fully unrolled and vectorized.
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* brow = pb + kk * n + j0;
+          for (int ii = 0; ii < kMr; ++ii) {
+            const float av = pa[(i0 + ii) * k + kk];
+            for (int jj = 0; jj < kNr; ++jj) {
+              acc[ii * kNr + jj] += av * brow[jj];
+            }
+          }
+        }
+      } else {
+        // Edge tile (m % kMr, n % kNr remainders).
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* brow = pb + kk * n + j0;
+          for (int64_t ii = 0; ii < mr; ++ii) {
+            const float av = pa[(i0 + ii) * k + kk];
+            for (int64_t jj = 0; jj < nr; ++jj) {
+              acc[ii * kNr + jj] += av * brow[jj];
+            }
+          }
+        }
+      }
+      for (int64_t ii = 0; ii < mr; ++ii) {
+        float* crow = po + (i0 + ii) * n + j0;
+        for (int64_t jj = 0; jj < nr; ++jj) crow[jj] = acc[ii * kNr + jj];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   TSFM_CHECK_GE(a.ndim(), 2);
   TSFM_CHECK_GE(b.ndim(), 2);
@@ -250,30 +332,37 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb0 = b.data();
   float* po0 = out.mutable_data();
 
-  for (int64_t batch_idx = 0; batch_idx < nbatch; ++batch_idx) {
-    int64_t ia = 0, ib = 0, rem = batch_idx;
-    for (int64_t d = 0; d < nd; ++d) {
-      const int64_t idx = rem / sbatch[d];
-      rem -= idx * sbatch[d];
-      ia += idx * sa[d];
-      ib += idx * sb[d];
-    }
-    const float* pa = pa0 + ia * m * k;
-    const float* pb = pb0 + ib * k * n;
-    float* po = po0 + batch_idx * m * n;
-    // i-k-j loop order: cache-friendly for row-major operands.
-    for (int64_t i = 0; i < m; ++i) {
-      float* prow = po + i * n;
-      std::fill(prow, prow + n, 0.0f);
-      const float* arow = pa + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) prow[j] += av * brow[j];
-      }
-    }
-  }
+  // One task per (batch, row-block); the grain keeps chunks above ~1 MFLOP
+  // so small matmuls stay inline. Tasks write disjoint C row ranges, and the
+  // kernel's per-element accumulation order is fixed, so the result is
+  // bit-identical for every thread count.
+  const int64_t row_blocks = (m + kRowsPerBlock - 1) / kRowsPerBlock;
+  const int64_t total_blocks = nbatch * row_blocks;
+  const int64_t block_flops =
+      2 * std::min(m, kRowsPerBlock) * std::max<int64_t>(k, 1) *
+      std::max<int64_t>(n, 1);
+  const int64_t grain =
+      std::max<int64_t>(1, (1 << 20) / std::max<int64_t>(block_flops, 1));
+  runtime::ParallelFor(
+      0, total_blocks, grain, [&](int64_t lo, int64_t hi) {
+        for (int64_t task = lo; task < hi; ++task) {
+          const int64_t batch_idx = task / row_blocks;
+          const int64_t block = task % row_blocks;
+          int64_t ia = 0, ib = 0, rem = batch_idx;
+          for (int64_t d = 0; d < nd; ++d) {
+            const int64_t idx = rem / sbatch[d];
+            rem -= idx * sbatch[d];
+            ia += idx * sa[d];
+            ib += idx * sb[d];
+          }
+          const float* pa = pa0 + ia * m * k;
+          const float* pb = pb0 + ib * k * n;
+          float* po = po0 + batch_idx * m * n;
+          const int64_t r0 = block * kRowsPerBlock;
+          const int64_t r1 = std::min(m, r0 + kRowsPerBlock);
+          MatMulRowRange(pa, pb, po, r0, r1, k, n);
+        }
+      });
   return out;
 }
 
@@ -301,19 +390,22 @@ Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
   Tensor out(out_shape);
   const auto in_strides = Strides(t.shape());
   const auto out_strides = Strides(out_shape);
-  const int64_t n = t.numel();
   const float* pi = t.data();
   float* po = out.mutable_data();
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t rem = i;
-    int64_t src = 0;
-    for (int64_t d = 0; d < nd; ++d) {
-      const int64_t idx = rem / out_strides[static_cast<size_t>(d)];
-      rem -= idx * out_strides[static_cast<size_t>(d)];
-      src += idx * in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
-    }
-    po[i] = pi[src];
-  }
+  runtime::ParallelFor(
+      0, t.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          int64_t rem = i;
+          int64_t src = 0;
+          for (int64_t d = 0; d < nd; ++d) {
+            const int64_t idx = rem / out_strides[static_cast<size_t>(d)];
+            rem -= idx * out_strides[static_cast<size_t>(d)];
+            src +=
+                idx * in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
+          }
+          po[i] = pi[src];
+        }
+      });
   return out;
 }
 
@@ -392,12 +484,19 @@ Tensor TakeRows(const Tensor& t, const std::vector<int64_t>& rows) {
 }
 
 float SumAll(const Tensor& t) {
-  // Kahan summation: the reductions feed statistics (mean/variance) where
-  // naive accumulation in float32 loses precision for large tensors.
-  double sum = 0.0;
+  // Double accumulation: the reductions feed statistics (mean/variance)
+  // where float32 accumulation loses precision for large tensors. Chunked
+  // partials combine in index order, so the value is thread-count
+  // independent (chunk boundaries depend only on numel).
   const float* p = t.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) sum += p[i];
+  const double sum = runtime::ParallelReduce(
+      0, t.numel(), kReduceGrain, 0.0,
+      [p](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i) s += p[i];
+        return s;
+      },
+      [](double acc, double part) { return acc + part; });
   return static_cast<float>(sum);
 }
 
@@ -426,13 +525,20 @@ Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
   const float* pi = t.data();
   float* po = out.mutable_data();
   std::fill(po, po + out.numel(), 0.0f);
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t l = 0; l < len; ++l) {
-      const float* src = pi + (o * len + l) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+  // Parallel over `outer` only: each output element keeps its serial
+  // ascending-l accumulation order, so results are bit-identical to the
+  // single-threaded loop.
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len * inner));
+  runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t l = 0; l < len; ++l) {
+        const float* src = pi + (o * len + l) * inner;
+        float* dst = po + o * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -458,15 +564,19 @@ Tensor MaxAlong(const Tensor& t, int64_t axis, bool keepdim) {
   Tensor out(ReducedShape(t.shape(), axis, keepdim));
   const float* pi = t.data();
   float* po = out.mutable_data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float best = pi[(o * len) * inner + i];
-      for (int64_t l = 1; l < len; ++l) {
-        best = std::max(best, pi[(o * len + l) * inner + i]);
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len * inner));
+  runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float best = pi[(o * len) * inner + i];
+        for (int64_t l = 1; l < len; ++l) {
+          best = std::max(best, pi[(o * len + l) * inner + i]);
+        }
+        po[o * inner + i] = best;
       }
-      po[o * inner + i] = best;
     }
-  }
+  });
   return out;
 }
 
@@ -491,18 +601,22 @@ Tensor Softmax(const Tensor& t) {
   Tensor out(t.shape());
   const float* pi = t.data();
   float* po = out.mutable_data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* row = pi + o * len;
-    float* orow = po + o * len;
-    const float mx = *std::max_element(row, row + len);
-    float denom = 0.0f;
-    for (int64_t i = 0; i < len; ++i) {
-      orow[i] = std::exp(row[i] - mx);
-      denom += orow[i];
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
+  runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      const float* row = pi + o * len;
+      float* orow = po + o * len;
+      const float mx = *std::max_element(row, row + len);
+      float denom = 0.0f;
+      for (int64_t i = 0; i < len; ++i) {
+        orow[i] = std::exp(row[i] - mx);
+        denom += orow[i];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t i = 0; i < len; ++i) orow[i] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int64_t i = 0; i < len; ++i) orow[i] *= inv;
-  }
+  });
   return out;
 }
 
@@ -513,34 +627,51 @@ Tensor LogSoftmax(const Tensor& t) {
   Tensor out(t.shape());
   const float* pi = t.data();
   float* po = out.mutable_data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* row = pi + o * len;
-    float* orow = po + o * len;
-    const float mx = *std::max_element(row, row + len);
-    float denom = 0.0f;
-    for (int64_t i = 0; i < len; ++i) denom += std::exp(row[i] - mx);
-    const float log_denom = std::log(denom) + mx;
-    for (int64_t i = 0; i < len; ++i) orow[i] = row[i] - log_denom;
-  }
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
+  runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      const float* row = pi + o * len;
+      float* orow = po + o * len;
+      const float mx = *std::max_element(row, row + len);
+      float denom = 0.0f;
+      for (int64_t i = 0; i < len; ++i) denom += std::exp(row[i] - mx);
+      const float log_denom = std::log(denom) + mx;
+      for (int64_t i = 0; i < len; ++i) orow[i] = row[i] - log_denom;
+    }
+  });
   return out;
 }
 
 float Norm(const Tensor& t) {
-  double s = 0.0;
   const float* p = t.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
+  const double s = runtime::ParallelReduce(
+      0, t.numel(), kReduceGrain, 0.0,
+      [p](int64_t lo, int64_t hi) {
+        double part = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          part += static_cast<double>(p[i]) * p[i];
+        }
+        return part;
+      },
+      [](double acc, double part) { return acc + part; });
   return static_cast<float>(std::sqrt(s));
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   TSFM_CHECK(a.shape() == b.shape());
-  float m = 0.0f;
   const float* pa = a.data();
   const float* pb = b.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(pa[i] - pb[i]));
-  return m;
+  return runtime::ParallelReduce(
+      0, a.numel(), kReduceGrain, 0.0f,
+      [pa, pb](int64_t lo, int64_t hi) {
+        float m = 0.0f;
+        for (int64_t i = lo; i < hi; ++i) {
+          m = std::max(m, std::fabs(pa[i] - pb[i]));
+        }
+        return m;
+      },
+      [](float acc, float part) { return std::max(acc, part); });
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol) {

@@ -1,0 +1,121 @@
+// Bit-exact determinism across thread counts.
+//
+// The runtime's contract is that chunk boundaries depend only on
+// (begin, end, grain) and per-chunk partials are reduced in chunk-index
+// order, so every parallelized op must produce bit-identical floats for
+// TSFM_NUM_THREADS=1, 2, and 8. These tests run the hot ops at each
+// thread count and compare raw buffers with memcmp — any reordering of
+// floating-point accumulation fails loudly.
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pca_adapter.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = runtime::NumThreads(); }
+  void TearDown() override { runtime::SetNumThreads(saved_); }
+
+  // Runs `compute` once per thread count and checks the raw output bytes
+  // never change.
+  void ExpectBitIdentical(const std::function<Tensor()>& compute,
+                          const char* what) {
+    runtime::SetNumThreads(kThreadCounts[0]);
+    Tensor reference = compute();
+    for (size_t i = 1; i < std::size(kThreadCounts); ++i) {
+      runtime::SetNumThreads(kThreadCounts[i]);
+      Tensor got = compute();
+      ASSERT_EQ(got.shape(), reference.shape()) << what;
+      EXPECT_EQ(std::memcmp(got.data(), reference.data(),
+                            sizeof(float) * static_cast<size_t>(got.numel())),
+                0)
+          << what << " differs at " << kThreadCounts[i] << " threads";
+    }
+  }
+
+  int saved_ = 1;
+};
+
+TEST_F(DeterminismTest, MatMul) {
+  Rng rng(7);
+  Tensor a = Tensor::RandN({130, 70}, &rng);
+  Tensor b = Tensor::RandN({70, 90}, &rng);
+  ExpectBitIdentical([&] { return MatMul(a, b); }, "MatMul 2-D");
+}
+
+TEST_F(DeterminismTest, BatchedBroadcastMatMul) {
+  Rng rng(8);
+  Tensor a = Tensor::RandN({4, 33, 17}, &rng);
+  Tensor b = Tensor::RandN({17, 29}, &rng);  // broadcast over batch
+  ExpectBitIdentical([&] { return MatMul(a, b); }, "MatMul batched");
+}
+
+TEST_F(DeterminismTest, Elementwise) {
+  Rng rng(9);
+  Tensor a = Tensor::RandN({100000}, &rng);
+  Tensor b = Tensor::RandN({100000}, &rng);
+  ExpectBitIdentical([&] { return Mul(Add(a, b), a); }, "elementwise");
+}
+
+TEST_F(DeterminismTest, Reductions) {
+  Rng rng(10);
+  Tensor a = Tensor::RandN({64, 1000}, &rng);
+  ExpectBitIdentical(
+      [&] { return Tensor(Shape{1}, {SumAll(a)}); }, "SumAll");
+  ExpectBitIdentical([&] { return Sum(a, 0) ; }, "Sum axis 0");
+  ExpectBitIdentical([&] { return Sum(a, 1); }, "Sum axis 1");
+  ExpectBitIdentical([&] { return Softmax(a); }, "Softmax");
+}
+
+TEST_F(DeterminismTest, PcaFitAndTransform) {
+  Rng rng(11);
+  Tensor x = Tensor::RandN({24, 50, 6}, &rng);
+  std::vector<int64_t> y(24, 0);
+  auto fit_transform = [&] {
+    core::AdapterOptions options;
+    options.out_channels = 3;
+    core::PcaAdapter pca(options);
+    EXPECT_TRUE(pca.Fit(x, y).ok());
+    auto out = pca.Transform(x);
+    EXPECT_TRUE(out.ok());
+    return out.value();
+  };
+  ExpectBitIdentical(fit_transform, "PCA fit+transform");
+}
+
+// Regression test for the removed `a == 0` skip in MatMul's inner loop:
+// IEEE 754 requires 0 * NaN == NaN, so a NaN in B must poison every
+// output that multiplies it — even against a zero in A.
+TEST_F(DeterminismTest, MatMulPropagatesNanThroughZero) {
+  Tensor a(Shape{1, 2}, {0.0f, 0.0f});
+  Tensor b(Shape{2, 1}, {std::nanf(""), 1.0f});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c[0]));
+
+  // Same through the blocked kernel path (full 6x tile of rows).
+  Tensor big_a = Tensor::Zeros(Shape{12, 8});
+  Rng rng(12);
+  Tensor big_b = Tensor::RandN({8, 40}, &rng);
+  big_b.mutable_data()[0] = std::nanf("");
+  Tensor big_c = MatMul(big_a, big_b);
+  // The NaN sits at B(0, 0), which feeds C(i, 0) for every row i.
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(std::isnan(big_c.at({i, 0}))) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tsfm
