@@ -7,6 +7,9 @@
 #include "autograd/ops.h"
 #include "common/rng.h"
 #include "linalg/linalg.h"
+#include "memory/buffer_pool.h"
+#include "models/head.h"
+#include "optim/optim.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -110,6 +113,71 @@ void BM_AutogradBackwardMlp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AutogradBackwardMlp);
+
+// Allocation pressure of the fine-tune inner loop: one head-training step
+// (batch selection + forward + backward + AdamW) per iteration, the hot loop
+// of the embed-once path. Arg 1 runs with the BufferPool enabled, Arg 0 with
+// it disabled — the in-process equivalent of TSFM_DISABLE_POOL=1 — so one
+// JSON report shows exactly what pooling saves. Counters:
+//   acquires_per_iter     tensor-buffer requests per step
+//   heap_allocs_per_iter  requests that reached new[] per step
+//   peak_pool_bytes       allocator high-water mark over the timed run
+void BM_FineTuneInnerLoopAlloc(benchmark::State& state) {
+  memory::BufferPool& pool = memory::BufferPool::Instance();
+  const bool ambient_enabled = pool.enabled();
+  const bool pool_on = state.range(0) != 0;
+  pool.SetEnabledForTesting(pool_on);
+  pool.Trim();  // both configurations start from empty freelists
+
+  Rng rng(9);
+  const int64_t n = 256, e = 64, classes = 6, bs = 32;
+  Tensor embeddings = Tensor::RandN({n, e}, &rng);
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % classes;
+  }
+  models::ClassificationHead head(e, classes, &rng);
+  optim::AdamW opt(head.Parameters(), 5e-2f, 0.9f, 0.999f, 1e-8f, 1e-4f);
+
+  std::vector<int64_t> idx(static_cast<size_t>(bs));
+  int64_t step = 0;
+  auto run_step = [&] {
+    const int64_t start = (step++ * bs) % n;
+    std::vector<int64_t> yb(static_cast<size_t>(bs));
+    for (int64_t i = 0; i < bs; ++i) {
+      idx[static_cast<size_t>(i)] = start + i;
+      yb[static_cast<size_t>(i)] = labels[static_cast<size_t>(start + i)];
+    }
+    Tensor xb = TakeRows(embeddings, idx);
+    ag::Var logits = head.Forward(ag::Constant(xb));
+    ag::Var loss = ag::CrossEntropy(logits, yb);
+    loss.Backward();
+    opt.Step();
+    opt.ZeroGrad();
+    head.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  };
+  run_step();  // warm-up: pooled steady state, not cold-cache misses
+
+  pool.ResetPeak();
+  const memory::PoolStats s0 = pool.Snapshot();
+  for (auto _ : state) {
+    run_step();
+  }
+  const memory::PoolStats s1 = pool.Snapshot();
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["pool_enabled"] = pool_on ? 1 : 0;
+  state.counters["acquires_per_iter"] =
+      static_cast<double>(s1.acquires - s0.acquires) / iters;
+  state.counters["heap_allocs_per_iter"] =
+      static_cast<double>(s1.heap_allocs - s0.heap_allocs) / iters;
+  state.counters["peak_pool_bytes"] =
+      static_cast<double>(s1.peak_live_bytes);
+
+  pool.SetEnabledForTesting(ambient_enabled);
+}
+BENCHMARK(BM_FineTuneInnerLoopAlloc)->Arg(1)->Arg(0);
 
 // Parallel speedup of the 512^3 matmul across pool sizes. Registered last
 // (and restoring the ambient thread count per run) so the pool-size sweep

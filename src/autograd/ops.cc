@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm::ag {
@@ -38,7 +39,9 @@ Tensor ScatterSlice(const Tensor& g, const Shape& orig_shape, int64_t axis,
     inner *= orig_shape[i];
   }
   const int64_t slice_len = g.dim(axis);
-  const float* pg = g.data();
+  // `g` is often a view (e.g. Concat backward slices the upstream grad).
+  const Tensor gd = g.Contiguous();
+  const float* pg = gd.data();
   float* po = out.mutable_data();
   for (int64_t o = 0; o < outer; ++o) {
     std::copy(pg + o * slice_len * inner, pg + (o + 1) * slice_len * inner,
@@ -216,14 +219,17 @@ Var Relu(const Var& a) {
   return MakeNode(
       tsfm::Relu(a.value()), {a},
       [](Node* n) {
-        const Tensor& x = n->inputs[0]->value;
-        Tensor g(x.shape());
+        const Tensor x = n->inputs[0]->value.Contiguous();
+        Tensor g = Tensor::Empty(x.shape());
         const float* px = x.data();
         const float* pg = n->grad.data();
         float* po = g.mutable_data();
-        for (int64_t i = 0; i < x.numel(); ++i) {
-          po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
-        }
+        runtime::ParallelFor(0, x.numel(), int64_t{1} << 14,
+                             [&](int64_t lo, int64_t hi) {
+                               for (int64_t i = lo; i < hi; ++i) {
+                                 po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+                               }
+                             });
         AccumulateIfNeeded(n->inputs[0], g);
       },
       "Relu");
@@ -235,19 +241,23 @@ Var Gelu(const Var& a) {
       [](Node* n) {
         constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
         constexpr float kA = 0.044715f;
-        const Tensor& x = n->inputs[0]->value;
-        Tensor g(x.shape());
+        const Tensor x = n->inputs[0]->value.Contiguous();
+        Tensor g = Tensor::Empty(x.shape());
         const float* px = x.data();
         const float* pg = n->grad.data();
         float* po = g.mutable_data();
-        for (int64_t i = 0; i < x.numel(); ++i) {
-          const float xi = px[i];
-          const float u = kC * (xi + kA * xi * xi * xi);
-          const float t = std::tanh(u);
-          const float du = kC * (1.0f + 3.0f * kA * xi * xi);
-          const float d = 0.5f * (1.0f + t) + 0.5f * xi * (1.0f - t * t) * du;
-          po[i] = pg[i] * d;
-        }
+        runtime::ParallelFor(
+            0, x.numel(), int64_t{1} << 14, [&](int64_t lo, int64_t hi) {
+              for (int64_t i = lo; i < hi; ++i) {
+                const float xi = px[i];
+                const float u = kC * (xi + kA * xi * xi * xi);
+                const float t = std::tanh(u);
+                const float du = kC * (1.0f + 3.0f * kA * xi * xi);
+                const float d =
+                    0.5f * (1.0f + t) + 0.5f * xi * (1.0f - t * t) * du;
+                po[i] = pg[i] * d;
+              }
+            });
         AccumulateIfNeeded(n->inputs[0], g);
       },
       "Gelu");
@@ -425,7 +435,7 @@ Var Dropout(const Var& a, float p, bool training, Rng* rng) {
   if (!training || p <= 0.0f) return a;
   TSFM_CHECK_LT(p, 1.0f);
   TSFM_CHECK(rng != nullptr);
-  Tensor mask(a.shape());
+  Tensor mask = Tensor::Empty(a.shape());
   float* pm = mask.mutable_data();
   const float keep_scale = 1.0f / (1.0f - p);
   for (int64_t i = 0; i < mask.numel(); ++i) {

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace tsfm::ag {
@@ -26,13 +27,21 @@ void Node::AccumulateGrad(const Tensor& g) {
       << "gradient shape " << ShapeToString(g.shape()) << " vs value "
       << ShapeToString(value.shape()) << " in op " << op_name;
   if (!has_grad) {
+    // Clone (not alias): `g` is typically an op output another node may also
+    // accumulate, and it packs view gradients so `grad` is always dense.
     grad = g.Clone();
     has_grad = true;
   } else {
+    // In-place accumulation into the pooled grad buffer — no `grad + g`
+    // reallocation. Each index is written by exactly one chunk, so the
+    // parallel loop is bit-deterministic.
+    const Tensor gd = g.Contiguous();
     float* pg = grad.mutable_data();
-    const float* ps = g.data();
-    const int64_t n = grad.numel();
-    for (int64_t i = 0; i < n; ++i) pg[i] += ps[i];
+    const float* ps = gd.data();
+    runtime::ParallelFor(0, grad.numel(), int64_t{1} << 14,
+                         [pg, ps](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) pg[i] += ps[i];
+                         });
   }
 }
 
@@ -91,6 +100,12 @@ void Var::SetValue(const Tensor& v) {
   TSFM_CHECK(defined());
   TSFM_CHECK(v.shape() == node_->value.shape());
   node_->value = v.Clone();
+}
+
+void Var::SetValue(Tensor&& v) {
+  TSFM_CHECK(defined());
+  TSFM_CHECK(v.shape() == node_->value.shape());
+  node_->value = std::move(v).Contiguous();
 }
 
 Var Var::Detach() const {

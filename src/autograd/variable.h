@@ -62,8 +62,11 @@ class Var {
   void ZeroGrad();
 
   /// Replaces the stored value in-place (optimizer update); the tape history
-  /// of this node is irrelevant for leaves.
+  /// of this node is irrelevant for leaves. The lvalue overload clones; the
+  /// rvalue overload adopts the buffer without a copy, so the caller must
+  /// hand over exclusively-owned storage (e.g. a fresh Clone it mutated).
   void SetValue(const Tensor& v);
+  void SetValue(Tensor&& v);
 
   /// Returns a non-differentiable leaf with the same value.
   Var Detach() const;

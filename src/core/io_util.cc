@@ -25,8 +25,9 @@ Status ReadF32(std::istream* is, float* v) {
 void WriteTensor(std::ostream* os, const Tensor& t) {
   WriteU64(os, static_cast<uint64_t>(t.ndim()));
   for (int64_t d : t.shape()) WriteU64(os, static_cast<uint64_t>(d));
-  os->write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  const Tensor dense = t.Contiguous();  // views serialize packed
+  os->write(reinterpret_cast<const char*>(dense.data()),
+            static_cast<std::streamsize>(dense.numel() * sizeof(float)));
 }
 
 Status ReadTensor(std::istream* is, Tensor* t) {

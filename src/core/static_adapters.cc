@@ -79,8 +79,10 @@ Status SvdAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
   Tensor design = x.Reshape(Shape{-1, d});
   TSFM_ASSIGN_OR_RETURN(SvdResult svd, TruncatedSvd(design, out_channels_));
   singular_values_ = svd.s;
-  // components_ = V (D, D'): transpose of vt.
-  components_ = TransposeLast2(svd.vt);
+  // components_ = V (D, D'): transpose of vt. Stored packed — this matrix is
+  // serialized and matmul'd on every Transform, so paying one copy here beats
+  // keeping a strided view alive.
+  components_ = TransposeLast2(svd.vt).Contiguous();
   fitted_ = true;
   return Status::OK();
 }
@@ -191,8 +193,9 @@ Result<Tensor> VarAdapter::Transform(const Tensor& x) const {
   }
   const int64_t n = x.dim(0);
   const int64_t t = x.dim(1);
-  Tensor out(Shape{n, t, out_channels_});
-  const float* pi = x.data();
+  const Tensor xd = x.Contiguous();
+  Tensor out = Tensor::Empty(Shape{n, t, out_channels_});
+  const float* pi = xd.data();
   float* po = out.mutable_data();
   const int64_t d = in_channels_;
   const int64_t grain =

@@ -78,7 +78,9 @@ TimeSeriesDataset Subsample(const TimeSeriesDataset& ds, int64_t max_n,
 TimeSeriesDataset TruncateLength(const TimeSeriesDataset& ds, int64_t max_t) {
   if (ds.length() <= max_t) return ds;
   TimeSeriesDataset out = ds;
-  out.x = Slice(ds.x, 1, 0, max_t);
+  // Datasets promise dense storage (baselines read x.data() row-major), so
+  // the truncating view is packed before it escapes.
+  out.x = Slice(ds.x, 1, 0, max_t).Contiguous();
   return out;
 }
 
@@ -86,7 +88,7 @@ TimeSeriesDataset TruncateChannels(const TimeSeriesDataset& ds,
                                    int64_t max_d) {
   if (ds.channels() <= max_d) return ds;
   TimeSeriesDataset out = ds;
-  out.x = Slice(ds.x, 2, 0, max_d);
+  out.x = Slice(ds.x, 2, 0, max_d).Contiguous();
   return out;
 }
 

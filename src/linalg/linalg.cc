@@ -43,10 +43,11 @@ Result<EigenResult> SymmetricEigen(const Tensor& a, int max_sweeps,
                                    ShapeToString(a.shape()));
   }
   const int64_t d = a.dim(0);
+  const Tensor ad = a.Contiguous();
   // Verify symmetry relative to the matrix scale. Parallel over rows; each
   // chunk reports whether it saw a violation.
-  const float scale = std::max(1.0f, MaxAll(Abs(a)));
-  const float* pa = a.data();
+  const float scale = std::max(1.0f, MaxAll(Abs(ad)));
+  const float* pa = ad.data();
   const bool asymmetric = runtime::ParallelReduce(
       0, d, /*grain=*/64, false,
       [&](int64_t lo, int64_t hi) {

@@ -1,0 +1,137 @@
+#include "memory/buffer_pool.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace tsfm::memory {
+namespace {
+
+// Bucket index for a request, or -1 for oversize. Bucket i holds buffers of
+// exactly 2^(kMinBucketLog2 + i) floats.
+int BucketIndex(int64_t numel) {
+  int log2 = BufferPool::kMinBucketLog2;
+  int64_t cap = int64_t{1} << log2;
+  while (cap < numel) {
+    ++log2;
+    cap <<= 1;
+    if (log2 > BufferPool::kMaxBucketLog2) return -1;
+  }
+  return log2 - BufferPool::kMinBucketLog2;
+}
+
+uint64_t Bytes(int64_t floats) {
+  return static_cast<uint64_t>(floats) * sizeof(float);
+}
+
+}  // namespace
+
+BufferPool::BufferPool()
+    : freelists_(static_cast<size_t>(kMaxBucketLog2 - kMinBucketLog2 + 1)) {
+  const char* env = std::getenv("TSFM_DISABLE_POOL");
+  enabled_ = !(env != nullptr && env[0] != '\0' && env[0] != '0');
+}
+
+BufferPool& BufferPool::Instance() {
+  // Intentionally leaked: tensors with static storage duration may release
+  // buffers after main() returns, so the pool must outlive every tensor.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+int64_t BufferPool::BucketCapacity(int64_t numel) {
+  const int bucket = BucketIndex(numel);
+  if (bucket < 0) return numel;
+  return int64_t{1} << (kMinBucketLog2 + bucket);
+}
+
+float* BufferPool::Acquire(int64_t numel, int* bucket) {
+  TSFM_CHECK_GE(numel, 0);
+  if (numel == 0) {
+    *bucket = -1;
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // While disabled the pool is a stats-tracking pass-through: exact-size
+  // heap allocations, bucket -1, so Release frees rather than caching.
+  const int idx = enabled_ ? BucketIndex(numel) : -1;
+  const int64_t cap = (idx < 0) ? numel : int64_t{1} << (kMinBucketLog2 + idx);
+  ++stats_.acquires;
+  stats_.live_bytes += Bytes(cap);
+  if (stats_.live_bytes > stats_.peak_live_bytes) {
+    stats_.peak_live_bytes = stats_.live_bytes;
+  }
+  if (idx >= 0) {
+    auto& list = freelists_[static_cast<size_t>(idx)];
+    if (!list.empty()) {
+      float* p = list.back();
+      list.pop_back();
+      stats_.cached_bytes -= Bytes(cap);
+      ++stats_.pool_hits;
+      *bucket = idx;
+      return p;
+    }
+  }
+  ++stats_.heap_allocs;
+  *bucket = idx;
+  return new float[static_cast<size_t>(cap)];
+}
+
+void BufferPool::Release(float* ptr, int bucket, int64_t numel) {
+  if (ptr == nullptr) return;
+  const int64_t cap =
+      (bucket < 0) ? numel : int64_t{1} << (kMinBucketLog2 + bucket);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  stats_.live_bytes -= Bytes(cap);
+  if (enabled_ && bucket >= 0) {
+    freelists_[static_cast<size_t>(bucket)].push_back(ptr);
+    stats_.cached_bytes += Bytes(cap);
+    return;
+  }
+  ++stats_.heap_frees;
+  delete[] ptr;
+}
+
+PoolStats BufferPool::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.peak_live_bytes = stats_.live_bytes;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : freelists_) {
+    for (float* p : list) {
+      ++stats_.heap_frees;
+      delete[] p;
+    }
+    list.clear();
+  }
+  stats_.cached_bytes = 0;
+}
+
+bool BufferPool::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void BufferPool::SetEnabledForTesting(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+TensorBuffer::TensorBuffer(int64_t numel) : numel_(numel) {
+  ptr_ = BufferPool::Instance().Acquire(numel, &bucket_);
+}
+
+TensorBuffer::~TensorBuffer() {
+  BufferPool::Instance().Release(ptr_, bucket_, numel_);
+}
+
+}  // namespace tsfm::memory

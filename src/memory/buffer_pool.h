@@ -1,0 +1,116 @@
+#ifndef TSFM_MEMORY_BUFFER_POOL_H_
+#define TSFM_MEMORY_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tsfm::memory {
+
+/// Allocator counters. Byte fields count the *capacity* handed out (bucket
+/// size for pooled buffers, exact size for oversize direct allocations), so
+/// `peak_live_bytes` is the allocator's real footprint, not the sum of
+/// requested tensor sizes.
+struct PoolStats {
+  uint64_t acquires = 0;      // buffer requests served (zero-size skipped)
+  uint64_t releases = 0;      // buffers returned (to a freelist or freed)
+  uint64_t pool_hits = 0;     // served from a freelist without heap traffic
+  uint64_t heap_allocs = 0;   // operator new[] calls (misses/oversize/off)
+  uint64_t heap_frees = 0;    // operator delete[] calls
+  uint64_t live_bytes = 0;    // capacity currently held by tensors
+  uint64_t peak_live_bytes = 0;  // high-water mark of live_bytes
+  uint64_t cached_bytes = 0;  // capacity parked in freelists, ready to reuse
+};
+
+/// Process-wide, thread-safe, size-bucketed free-list allocator for tensor
+/// storage. Requests are rounded up to the next power-of-two float count
+/// (minimum 64 floats); a released buffer parks in its bucket's freelist and
+/// the next `Acquire` of that bucket reuses it with zero heap traffic.
+/// Requests above `kMaxBucket` floats bypass the freelists (rare, and pooling
+/// them would pin large memory).
+///
+/// The pool hands out raw capacity only — it never reads or writes buffer
+/// contents, so reused buffers are *dirty* and callers must fully initialize
+/// them (`Tensor(Shape)` zeroes; `Tensor::Empty` passes the dirt through to
+/// code that overwrites every element). Numerics therefore never depend on
+/// pool state, which keeps the runtime's bit-determinism contract intact.
+///
+/// Setting `TSFM_DISABLE_POOL=1` in the environment turns the pool into a
+/// plain pass-through to new[]/delete[] (stats still tracked) — used by the
+/// allocation-pressure benchmarks to measure what pooling saves.
+class BufferPool {
+ public:
+  /// Smallest pooled bucket: 2^6 floats = 256 bytes.
+  static constexpr int kMinBucketLog2 = 6;
+  /// Largest pooled bucket: 2^26 floats = 256 MiB. Above this, direct heap.
+  static constexpr int kMaxBucketLog2 = 26;
+
+  static BufferPool& Instance();
+
+  /// Returns storage for at least `numel` floats and writes the bucket id to
+  /// `*bucket` (-1 for oversize direct allocations). `numel == 0` returns
+  /// nullptr and touches no counters. Contents are unspecified.
+  float* Acquire(int64_t numel, int* bucket);
+
+  /// Returns a Acquire'd buffer. `bucket` and `numel` must be the values the
+  /// matching Acquire produced. Pooled buckets park in the freelist; direct
+  /// allocations (and all buffers while the pool is disabled) are freed.
+  void Release(float* ptr, int bucket, int64_t numel);
+
+  /// Capacity in floats that `Acquire(numel, ...)` would actually reserve.
+  static int64_t BucketCapacity(int64_t numel);
+
+  PoolStats Snapshot() const;
+
+  /// Resets `peak_live_bytes` to the current `live_bytes` (scoped peak
+  /// measurements around a workload).
+  void ResetPeak();
+
+  /// Frees every cached buffer. Live buffers are unaffected.
+  void Trim();
+
+  bool enabled() const;
+
+  /// Overrides the TSFM_DISABLE_POOL setting for this process. Test/bench
+  /// only: lets one binary compare pooled vs unpooled behaviour in-process.
+  /// Disabling does not flush existing freelists (call Trim for that), but
+  /// buffers released while disabled go straight back to the heap.
+  void SetEnabledForTesting(bool enabled);
+
+ private:
+  BufferPool();
+  ~BufferPool() = delete;  // process-lifetime singleton
+
+  mutable std::mutex mu_;
+  bool enabled_;
+  PoolStats stats_;
+  // freelists_[i] holds buffers of exactly 2^(kMinBucketLog2 + i) floats.
+  std::vector<std::vector<float*>> freelists_;
+};
+
+/// RAII storage handle used by `Tensor`: capacity comes from the BufferPool
+/// on construction and returns to it on destruction. Shared between all
+/// tensors viewing the same storage via std::shared_ptr<TensorBuffer>.
+class TensorBuffer {
+ public:
+  /// Allocates capacity for `numel` floats (contents unspecified).
+  explicit TensorBuffer(int64_t numel);
+  ~TensorBuffer();
+
+  TensorBuffer(const TensorBuffer&) = delete;
+  TensorBuffer& operator=(const TensorBuffer&) = delete;
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  int64_t numel() const { return numel_; }
+
+ private:
+  float* ptr_;
+  int64_t numel_;
+  int bucket_;
+};
+
+}  // namespace tsfm::memory
+
+#endif  // TSFM_MEMORY_BUFFER_POOL_H_

@@ -30,7 +30,7 @@ Status SaveCheckpoint(const Module& module, const std::string& path) {
   for (const auto& [name, p] : params) {
     WriteU64(os, name.size());
     os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const Tensor& t = p.value();
+    const Tensor t = p.value().Contiguous();  // views serialize packed
     WriteU64(os, static_cast<uint64_t>(t.ndim()));
     for (int64_t d : t.shape()) WriteU64(os, static_cast<uint64_t>(d));
     os.write(reinterpret_cast<const char*>(t.data()),

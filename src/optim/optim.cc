@@ -1,6 +1,7 @@
 #include "optim/optim.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "tensor/ops.h"
@@ -48,7 +49,7 @@ void Sgd::Step() {
       }
       pv[j] -= lr_ * grad;
     }
-    p.SetValue(value);
+    p.SetValue(std::move(value));
   }
 }
 
@@ -92,7 +93,7 @@ void Adam::Step() {
       if (decoupled_) update += weight_decay_ * pv[j];
       pv[j] -= lr_ * update;
     }
-    p.SetValue(value);
+    p.SetValue(std::move(value));
   }
 }
 

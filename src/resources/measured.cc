@@ -1,0 +1,33 @@
+#include "resources/measured.h"
+
+#include "memory/buffer_pool.h"
+
+namespace tsfm::resources {
+
+MeasuredMemory MeasurePeak(const std::function<void()>& fn) {
+  memory::BufferPool& pool = memory::BufferPool::Instance();
+  pool.ResetPeak();
+  const memory::PoolStats before = pool.Snapshot();
+  fn();
+  const memory::PoolStats after = pool.Snapshot();
+
+  MeasuredMemory m;
+  m.baseline_bytes = static_cast<int64_t>(before.live_bytes);
+  m.peak_bytes = static_cast<int64_t>(after.peak_live_bytes) -
+                 static_cast<int64_t>(before.live_bytes);
+  if (m.peak_bytes < 0) m.peak_bytes = 0;
+  m.acquires =
+      static_cast<int64_t>(after.acquires) - static_cast<int64_t>(before.acquires);
+  m.pool_hits = static_cast<int64_t>(after.pool_hits) -
+                static_cast<int64_t>(before.pool_hits);
+  m.heap_allocs = static_cast<int64_t>(after.heap_allocs) -
+                  static_cast<int64_t>(before.heap_allocs);
+  return m;
+}
+
+int64_t CurrentLiveBytes() {
+  return static_cast<int64_t>(
+      memory::BufferPool::Instance().Snapshot().live_bytes);
+}
+
+}  // namespace tsfm::resources

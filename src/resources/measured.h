@@ -1,0 +1,40 @@
+#ifndef TSFM_RESOURCES_MEASURED_H_
+#define TSFM_RESOURCES_MEASURED_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace tsfm::resources {
+
+/// Allocator telemetry for one measured workload, from `memory::BufferPool`
+/// counters. All byte figures count allocator capacity (bucket sizes), which
+/// is what would actually have to fit on a device.
+struct MeasuredMemory {
+  /// Capacity live before the workload ran (model weights, cached data, ...).
+  int64_t baseline_bytes = 0;
+  /// High-water mark of capacity the workload held *above* the baseline.
+  int64_t peak_bytes = 0;
+  /// Buffer requests the workload issued.
+  int64_t acquires = 0;
+  /// Requests served from the pool's freelists (no heap traffic).
+  int64_t pool_hits = 0;
+  /// Requests that went to the heap (pool miss, oversize, or pool disabled).
+  int64_t heap_allocs = 0;
+};
+
+/// Runs `fn` and reports the BufferPool's peak memory and allocation counts
+/// during the call. This is the measured counterpart to `EstimateRun`: the
+/// cost model predicts peak bytes analytically at paper scale, this observes
+/// them for a real run of the scaled-down CPU models.
+///
+/// The measurement is a process-wide counter delta, so concurrent allocations
+/// from *other* threads during `fn` are attributed to it; measure quiesced
+/// workloads (tests, benches) for meaningful numbers.
+MeasuredMemory MeasurePeak(const std::function<void()>& fn);
+
+/// Capacity currently held by live tensors, in bytes.
+int64_t CurrentLiveBytes();
+
+}  // namespace tsfm::resources
+
+#endif  // TSFM_RESOURCES_MEASURED_H_

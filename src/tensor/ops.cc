@@ -27,7 +27,8 @@ std::vector<int64_t> Strides(const Shape& shape) {
 }
 
 // Strides for reading `shape` as if broadcast to `out_shape` (0 stride on
-// broadcast dims). `shape` is right-aligned against `out_shape`.
+// broadcast dims). `shape` is right-aligned against `out_shape`. Used by
+// MatMul for its synthetic batch shapes, which are always dense.
 std::vector<int64_t> BroadcastStrides(const Shape& shape,
                                       const Shape& out_shape) {
   const std::vector<int64_t> in_strides = Strides(shape);
@@ -48,10 +49,34 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
   return out;
 }
 
+// Strides for reading tensor `t` (which may itself be a strided view) as if
+// broadcast to `out_shape`: the view's actual strides on matching dims, 0 on
+// broadcast dims. Lets elementwise kernels consume views without
+// materializing them.
+std::vector<int64_t> ViewBroadcastStrides(const Tensor& t,
+                                          const Shape& out_shape) {
+  const Shape& shape = t.shape();
+  std::vector<int64_t> out(out_shape.size(), 0);
+  const int64_t offset =
+      static_cast<int64_t>(out_shape.size()) - static_cast<int64_t>(shape.size());
+  for (size_t i = 0; i < shape.size(); ++i) {
+    const size_t oi = static_cast<size_t>(offset) + i;
+    if (shape[i] == out_shape[oi]) {
+      out[oi] = t.strides()[i];
+    } else {
+      TSFM_CHECK_EQ(shape[i], 1)
+          << "broadcast mismatch " << ShapeToString(shape) << " vs "
+          << ShapeToString(out_shape);
+      out[oi] = 0;
+    }
+  }
+  return out;
+}
+
 template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
-  if (a.shape() == b.shape()) {  // fast path
-    Tensor out(a.shape());
+  if (a.shape() == b.shape() && a.is_contiguous() && b.is_contiguous()) {
+    Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
@@ -63,18 +88,17 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
                          });
     return out;
   }
+  // Strided/broadcast path: reads go through each input's actual strides, so
+  // views (slices, transposes) are consumed in place with no materialize.
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
-  const auto sa = BroadcastStrides(a.shape(), out_shape);
-  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  Tensor out = Tensor::Empty(out_shape);
+  const auto sa = ViewBroadcastStrides(a, out_shape);
+  const auto sb = ViewBroadcastStrides(b, out_shape);
   const auto so = Strides(out_shape);
   const int64_t nd = static_cast<int64_t>(out_shape.size());
-  const float* pa = a.data();
-  const float* pb = b.data();
+  const float* pa = a.base();
+  const float* pb = b.base();
   float* po = out.mutable_data();
-  // Fast path: identical shapes except `b` broadcast along trailing axis run
-  // (common bias-add pattern) is handled by the generic loop below; the index
-  // decomposition is cheap relative to float ops for our sizes.
   runtime::ParallelFor(
       0, out.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -93,13 +117,33 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
 
 template <typename F>
 Tensor UnaryOp(const Tensor& t, F f) {
-  Tensor out(t.shape());
-  const float* p = t.data();
+  Tensor out = Tensor::Empty(t.shape());
   float* po = out.mutable_data();
-  runtime::ParallelFor(0, t.numel(), kElementwiseGrain,
-                       [&](int64_t lo, int64_t hi) {
-                         for (int64_t i = lo; i < hi; ++i) po[i] = f(p[i]);
-                       });
+  if (t.is_contiguous()) {
+    const float* p = t.data();
+    runtime::ParallelFor(0, t.numel(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) po[i] = f(p[i]);
+                         });
+    return out;
+  }
+  // Strided view input: gather through the view's strides.
+  const float* p = t.base();
+  const auto& st = t.strides();
+  const auto so = Strides(t.shape());
+  const int64_t nd = t.ndim();
+  runtime::ParallelFor(
+      0, t.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          int64_t src = 0, rem = i;
+          for (int64_t d = 0; d < nd; ++d) {
+            const int64_t idx = rem / so[static_cast<size_t>(d)];
+            rem -= idx * so[static_cast<size_t>(d)];
+            src += idx * st[static_cast<size_t>(d)];
+          }
+          po[i] = f(p[src]);
+        }
+      });
   return out;
 }
 
@@ -313,6 +357,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   TSFM_CHECK_EQ(k, k2) << "matmul inner dims " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
 
+  // The register-blocked kernel needs dense row-major operands; strided
+  // views (e.g. TransposeLast2 results) are packed once into pooled scratch
+  // that is released as soon as the product is computed.
+  const Tensor a_dense = a.Contiguous();
+  const Tensor b_dense = b.Contiguous();
+
   Shape a_batch(a.shape().begin(), a.shape().end() - 2);
   Shape b_batch(b.shape().begin(), b.shape().end() - 2);
   const Shape batch = BroadcastShapes(a_batch, b_batch);
@@ -321,15 +371,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
 
   const auto sa = BroadcastStrides(a_batch, batch);
   const auto sb = BroadcastStrides(b_batch, batch);
   const auto sbatch = Strides(batch);
   const int64_t nd = static_cast<int64_t>(batch.size());
 
-  const float* pa0 = a.data();
-  const float* pb0 = b.data();
+  const float* pa0 = a_dense.data();
+  const float* pb0 = b_dense.data();
   float* po0 = out.mutable_data();
 
   // One task per (batch, row-block); the grain keeps chunks above ~1 MFLOP
@@ -371,64 +421,17 @@ Tensor TransposeLast2(const Tensor& t) {
   for (int64_t i = 0; i < t.ndim(); ++i) perm[static_cast<size_t>(i)] = i;
   TSFM_CHECK_GE(t.ndim(), 2);
   std::swap(perm[perm.size() - 1], perm[perm.size() - 2]);
-  return Permute(t, perm);
+  return t.PermuteAxes(perm);
 }
 
 Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
-  const int64_t nd = t.ndim();
-  TSFM_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
-  std::vector<bool> seen(static_cast<size_t>(nd), false);
-  Shape out_shape(static_cast<size_t>(nd));
-  for (int64_t i = 0; i < nd; ++i) {
-    const int64_t p = perm[static_cast<size_t>(i)];
-    TSFM_CHECK_GE(p, 0);
-    TSFM_CHECK_LT(p, nd);
-    TSFM_CHECK(!seen[static_cast<size_t>(p)]) << "perm repeats axis " << p;
-    seen[static_cast<size_t>(p)] = true;
-    out_shape[static_cast<size_t>(i)] = t.dim(p);
-  }
-  Tensor out(out_shape);
-  const auto in_strides = Strides(t.shape());
-  const auto out_strides = Strides(out_shape);
-  const float* pi = t.data();
-  float* po = out.mutable_data();
-  runtime::ParallelFor(
-      0, t.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          int64_t rem = i;
-          int64_t src = 0;
-          for (int64_t d = 0; d < nd; ++d) {
-            const int64_t idx = rem / out_strides[static_cast<size_t>(d)];
-            rem -= idx * out_strides[static_cast<size_t>(d)];
-            src +=
-                idx * in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
-          }
-          po[i] = pi[src];
-        }
-      });
-  return out;
+  return t.PermuteAxes(perm);
 }
 
 Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t end) {
-  const int64_t nd = t.ndim();
-  axis = NormalizeAxis(axis, nd);
-  const int64_t len = t.dim(axis);
-  TSFM_CHECK_GE(start, 0);
-  TSFM_CHECK_LE(end, len);
+  axis = NormalizeAxis(axis, t.ndim());
   TSFM_CHECK_LE(start, end);
-  int64_t outer, alen, inner;
-  SplitAroundAxis(t.shape(), axis, &outer, &alen, &inner);
-  Shape out_shape = t.shape();
-  out_shape[static_cast<size_t>(axis)] = end - start;
-  Tensor out(out_shape);
-  const float* pi = t.data();
-  float* po = out.mutable_data();
-  const int64_t span = (end - start) * inner;
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = pi + (o * alen + start) * inner;
-    std::copy(src, src + span, po + o * span);
-  }
-  return out;
+  return t.Narrow(axis, start, end - start);
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
@@ -447,14 +450,15 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   }
   Shape out_shape = parts[0].shape();
   out_shape[static_cast<size_t>(axis)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   int64_t outer, alen, inner;
   SplitAroundAxis(out_shape, axis, &outer, &alen, &inner);
   float* po = out.mutable_data();
   int64_t offset = 0;
   for (const Tensor& p : parts) {
-    const int64_t plen = p.dim(axis);
-    const float* pi = p.data();
+    const Tensor pd = p.Contiguous();
+    const int64_t plen = pd.dim(axis);
+    const float* pi = pd.data();
     for (int64_t o = 0; o < outer; ++o) {
       std::copy(pi + o * plen * inner, pi + (o + 1) * plen * inner,
                 po + (o * alen + offset) * inner);
@@ -466,12 +470,13 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 
 Tensor TakeRows(const Tensor& t, const std::vector<int64_t>& rows) {
   TSFM_CHECK_GE(t.ndim(), 1);
-  const int64_t n0 = t.dim(0);
-  const int64_t inner = t.numel() / std::max<int64_t>(n0, 1);
-  Shape out_shape = t.shape();
+  const Tensor td = t.Contiguous();
+  const int64_t n0 = td.dim(0);
+  const int64_t inner = td.numel() / std::max<int64_t>(n0, 1);
+  Shape out_shape = td.shape();
   out_shape[0] = static_cast<int64_t>(rows.size());
-  Tensor out(out_shape);
-  const float* pi = t.data();
+  Tensor out = Tensor::Empty(out_shape);
+  const float* pi = td.data();
   float* po = out.mutable_data();
   for (size_t r = 0; r < rows.size(); ++r) {
     const int64_t src = rows[r];
@@ -488,7 +493,8 @@ float SumAll(const Tensor& t) {
   // where float32 accumulation loses precision for large tensors. Chunked
   // partials combine in index order, so the value is thread-count
   // independent (chunk boundaries depend only on numel).
-  const float* p = t.data();
+  const Tensor td = t.Contiguous();
+  const float* p = td.data();
   const double sum = runtime::ParallelReduce(
       0, t.numel(), kReduceGrain, 0.0,
       [p](int64_t lo, int64_t hi) {
@@ -507,22 +513,25 @@ float MeanAll(const Tensor& t) {
 
 float MaxAll(const Tensor& t) {
   TSFM_CHECK_GT(t.numel(), 0);
-  const float* p = t.data();
-  return *std::max_element(p, p + t.numel());
+  const Tensor td = t.Contiguous();
+  const float* p = td.data();
+  return *std::max_element(p, p + td.numel());
 }
 
 float MinAll(const Tensor& t) {
   TSFM_CHECK_GT(t.numel(), 0);
-  const float* p = t.data();
-  return *std::min_element(p, p + t.numel());
+  const Tensor td = t.Contiguous();
+  const float* p = td.data();
+  return *std::min_element(p, p + td.numel());
 }
 
 Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
   axis = NormalizeAxis(axis, t.ndim());
+  const Tensor td = t.Contiguous();
   int64_t outer, len, inner;
-  SplitAroundAxis(t.shape(), axis, &outer, &len, &inner);
-  Tensor out(ReducedShape(t.shape(), axis, keepdim));
-  const float* pi = t.data();
+  SplitAroundAxis(td.shape(), axis, &outer, &len, &inner);
+  Tensor out = Tensor::Empty(ReducedShape(td.shape(), axis, keepdim));
+  const float* pi = td.data();
   float* po = out.mutable_data();
   std::fill(po, po + out.numel(), 0.0f);
   // Parallel over `outer` only: each output element keeps its serial
@@ -558,11 +567,12 @@ Tensor Variance(const Tensor& t, int64_t axis, bool keepdim) {
 
 Tensor MaxAlong(const Tensor& t, int64_t axis, bool keepdim) {
   axis = NormalizeAxis(axis, t.ndim());
+  const Tensor td = t.Contiguous();
   int64_t outer, len, inner;
-  SplitAroundAxis(t.shape(), axis, &outer, &len, &inner);
+  SplitAroundAxis(td.shape(), axis, &outer, &len, &inner);
   TSFM_CHECK_GT(len, 0);
-  Tensor out(ReducedShape(t.shape(), axis, keepdim));
-  const float* pi = t.data();
+  Tensor out = Tensor::Empty(ReducedShape(td.shape(), axis, keepdim));
+  const float* pi = td.data();
   float* po = out.mutable_data();
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len * inner));
@@ -582,10 +592,11 @@ Tensor MaxAlong(const Tensor& t, int64_t axis, bool keepdim) {
 
 std::vector<int64_t> ArgMaxLast(const Tensor& t) {
   TSFM_CHECK_GE(t.ndim(), 1);
-  const int64_t len = t.dim(-1);
-  const int64_t outer = t.numel() / len;
+  const Tensor td = t.Contiguous();
+  const int64_t len = td.dim(-1);
+  const int64_t outer = td.numel() / len;
   std::vector<int64_t> out(static_cast<size_t>(outer));
-  const float* p = t.data();
+  const float* p = td.data();
   for (int64_t o = 0; o < outer; ++o) {
     const float* row = p + o * len;
     out[static_cast<size_t>(o)] =
@@ -596,10 +607,11 @@ std::vector<int64_t> ArgMaxLast(const Tensor& t) {
 
 Tensor Softmax(const Tensor& t) {
   TSFM_CHECK_GE(t.ndim(), 1);
-  const int64_t len = t.dim(-1);
-  const int64_t outer = t.numel() / len;
-  Tensor out(t.shape());
-  const float* pi = t.data();
+  const Tensor td = t.Contiguous();
+  const int64_t len = td.dim(-1);
+  const int64_t outer = td.numel() / len;
+  Tensor out = Tensor::Empty(td.shape());
+  const float* pi = td.data();
   float* po = out.mutable_data();
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
@@ -622,10 +634,11 @@ Tensor Softmax(const Tensor& t) {
 
 Tensor LogSoftmax(const Tensor& t) {
   TSFM_CHECK_GE(t.ndim(), 1);
-  const int64_t len = t.dim(-1);
-  const int64_t outer = t.numel() / len;
-  Tensor out(t.shape());
-  const float* pi = t.data();
+  const Tensor td = t.Contiguous();
+  const int64_t len = td.dim(-1);
+  const int64_t outer = td.numel() / len;
+  Tensor out = Tensor::Empty(td.shape());
+  const float* pi = td.data();
   float* po = out.mutable_data();
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
@@ -644,7 +657,8 @@ Tensor LogSoftmax(const Tensor& t) {
 }
 
 float Norm(const Tensor& t) {
-  const float* p = t.data();
+  const Tensor td = t.Contiguous();
+  const float* p = td.data();
   const double s = runtime::ParallelReduce(
       0, t.numel(), kReduceGrain, 0.0,
       [p](int64_t lo, int64_t hi) {
@@ -660,8 +674,10 @@ float Norm(const Tensor& t) {
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   TSFM_CHECK(a.shape() == b.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
+  const Tensor ad = a.Contiguous();
+  const Tensor bd = b.Contiguous();
+  const float* pa = ad.data();
+  const float* pb = bd.data();
   return runtime::ParallelReduce(
       0, a.numel(), kReduceGrain, 0.0f,
       [pa, pb](int64_t lo, int64_t hi) {

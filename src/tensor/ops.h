@@ -60,14 +60,16 @@ Tensor Pow(const Tensor& t, float p);
 /// dimensions are broadcast. (..., m, k) x (..., k, n) -> (..., m, n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-/// Swaps the last two dimensions (copies).
+/// Swaps the last two dimensions. Zero-copy: returns a strided view that
+/// aliases the input's storage.
 Tensor TransposeLast2(const Tensor& t);
 
 /// General permutation of dimensions; `perm` must be a permutation of
-/// [0, ndim).
+/// [0, ndim). Zero-copy view (aliases the input's storage).
 Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm);
 
-/// Extracts `[start, end)` along `axis` (copies).
+/// Extracts `[start, end)` along `axis`. Zero-copy view (aliases the input's
+/// storage); call `.Contiguous()` on the result if dense memory is needed.
 Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t end);
 
 /// Concatenates tensors along `axis`; all other dimensions must match.

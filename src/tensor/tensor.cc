@@ -1,9 +1,61 @@
 #include "tensor/tensor.h"
 
-#include <numeric>
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 
+#include "runtime/thread_pool.h"
+
 namespace tsfm {
+namespace {
+
+// Work per ParallelFor chunk when packing a strided view; matches the
+// elementwise grain used by the ops layer.
+constexpr int64_t kPackGrain = int64_t{1} << 14;
+
+// A view is contiguous iff walking dims innermost-first, every dim of size
+// > 1 has exactly the stride a packed row-major layout would give it
+// (size-1 dims impose no constraint — their stride is never multiplied by a
+// nonzero index).
+bool ComputeContiguous(const Shape& shape, const Shape& strides) {
+  int64_t expected = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    if (shape[i] == 1) continue;
+    if (strides[i] != expected) return false;
+    expected *= shape[i];
+  }
+  return true;
+}
+
+// Gathers the elements of `src` (any strides) into dense row-major `dst`.
+void PackTo(const Tensor& src, float* dst) {
+  const int64_t n = src.numel();
+  if (n == 0) return;
+  if (src.is_contiguous()) {
+    std::memcpy(dst, src.base(), static_cast<size_t>(n) * sizeof(float));
+    return;
+  }
+  const Shape& shape = src.shape();
+  const Shape& strides = src.strides();
+  const float* base = src.base();
+  const int64_t nd = src.ndim();
+  runtime::ParallelFor(0, n, kPackGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      int64_t rem = i;
+      int64_t off = 0;
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        const int64_t sz = shape[static_cast<size_t>(d)];
+        off += (rem % sz) * strides[static_cast<size_t>(d)];
+        rem /= sz;
+      }
+      dst[i] = base[off];
+    }
+  });
+}
+
+thread_local int g_alias_check_depth = 0;
+
+}  // namespace
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -25,29 +77,55 @@ std::string ShapeToString(const Shape& shape) {
   return os.str();
 }
 
-Tensor::Tensor() : Tensor(Shape{0}) {}
+Shape DenseStrides(const Shape& shape) {
+  Shape strides(shape.size());
+  int64_t acc = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+Tensor::Tensor() : Tensor(Shape{0}, UninitTag{}) {}
+
+Tensor::Tensor(Shape shape, UninitTag)
+    : shape_(std::move(shape)),
+      strides_(DenseStrides(shape_)),
+      numel_(NumElements(shape_)),
+      buf_(std::make_shared<memory::TensorBuffer>(numel_)) {}
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      numel_(NumElements(shape_)),
-      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+    : Tensor(std::move(shape), UninitTag{}) {
+  // Pooled buffers are handed over dirty; a plain constructor promises zeros.
+  if (numel_ > 0) std::fill_n(buf_->data(), numel_, 0.0f);
+}
 
-Tensor::Tensor(Shape shape, std::vector<float> values)
+Tensor::Tensor(Shape shape, const std::vector<float>& values)
     : shape_(std::move(shape)),
+      strides_(DenseStrides(shape_)),
       numel_(NumElements(shape_)),
-      data_(std::make_shared<std::vector<float>>(std::move(values))) {
-  TSFM_CHECK_EQ(numel_, static_cast<int64_t>(data_->size()))
+      buf_(std::make_shared<memory::TensorBuffer>(numel_)) {
+  TSFM_CHECK_EQ(numel_, static_cast<int64_t>(values.size()))
       << "value count does not match shape " << ShapeToString(shape_);
+  if (numel_ > 0) {
+    std::memcpy(buf_->data(), values.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
+
+Tensor Tensor::Empty(Shape shape) {
+  return Tensor(std::move(shape), UninitTag{});
 }
 
 Tensor Tensor::Scalar(float value) {
-  Tensor t{Shape{}};
-  (*t.data_)[0] = value;
+  Tensor t = Empty(Shape{});
+  t.buf_->data()[0] = value;
   return t;
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -57,13 +135,13 @@ Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
 
 Tensor Tensor::RandN(Shape shape, Rng* rng, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   rng->FillNormal(t.mutable_data(), static_cast<size_t>(t.numel()), stddev);
   return t;
 }
 
 Tensor Tensor::RandUniform(Shape shape, Rng* rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   rng->FillUniform(t.mutable_data(), static_cast<size_t>(t.numel()), lo, hi);
   return t;
 }
@@ -75,7 +153,7 @@ Tensor Tensor::Eye(int64_t n) {
 }
 
 Tensor Tensor::Arange(int64_t n) {
-  Tensor t(Shape{n});
+  Tensor t = Empty(Shape{n});
   for (int64_t i = 0; i < n; ++i) t.mutable_data()[i] = static_cast<float>(i);
   return t;
 }
@@ -88,25 +166,57 @@ int64_t Tensor::dim(int64_t d) const {
   return shape_[static_cast<size_t>(d)];
 }
 
+int64_t Tensor::stride(int64_t d) const {
+  const int64_t nd = ndim();
+  if (d < 0) d += nd;
+  TSFM_CHECK_GE(d, 0);
+  TSFM_CHECK_LT(d, nd);
+  return strides_[static_cast<size_t>(d)];
+}
+
+float Tensor::operator[](int64_t i) const {
+  TSFM_CHECK_GE(i, 0);
+  TSFM_CHECK_LT(i, numel_);
+  if (contiguous_) return base()[i];
+  int64_t rem = i;
+  int64_t off = 0;
+  for (int64_t d = ndim() - 1; d >= 0; --d) {
+    const int64_t sz = shape_[static_cast<size_t>(d)];
+    off += (rem % sz) * strides_[static_cast<size_t>(d)];
+    rem /= sz;
+  }
+  return base()[off];
+}
+
 int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
   TSFM_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
-  int64_t flat = 0;
+  int64_t off = 0;
   size_t d = 0;
   for (int64_t i : idx) {
     TSFM_CHECK_GE(i, 0);
     TSFM_CHECK_LT(i, shape_[d]);
-    flat = flat * shape_[d] + i;
+    off += i * strides_[d];
     ++d;
   }
-  return flat;
+  return off;
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
-  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+  CheckMutationAllowed();
+  return buf_->data()[offset_ + FlatIndex(idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+  return buf_->data()[offset_ + FlatIndex(idx)];
+}
+
+void Tensor::CheckMutationAllowed() const {
+  if (g_alias_check_depth == 0) return;
+  TSFM_CHECK(buf_ == nullptr || buf_.use_count() == 1)
+      << "mutation of shared tensor storage (shape "
+      << ShapeToString(shape_)
+      << ") while a ScopedAliasCheck is active: this write would be visible "
+         "through every view/copy aliasing the buffer";
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
@@ -130,18 +240,83 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   TSFM_CHECK_EQ(NumElements(new_shape), numel_)
       << "reshape " << ShapeToString(shape_) << " -> "
       << ShapeToString(new_shape);
+  if (!contiguous_) {
+    // Strides cannot express an arbitrary regrouping of a strided view;
+    // materialize once, then view.
+    return Contiguous().Reshape(std::move(new_shape));
+  }
   Tensor t = *this;
+  t.strides_ = DenseStrides(new_shape);
   t.shape_ = std::move(new_shape);
   return t;
 }
 
+Tensor Tensor::Narrow(int64_t axis, int64_t start, int64_t len) const {
+  const int64_t nd = ndim();
+  if (axis < 0) axis += nd;
+  TSFM_CHECK_GE(axis, 0);
+  TSFM_CHECK_LT(axis, nd);
+  TSFM_CHECK_GE(start, 0);
+  TSFM_CHECK_GE(len, 0);
+  TSFM_CHECK_LE(start + len, shape_[static_cast<size_t>(axis)]);
+  Tensor t = *this;
+  t.shape_[static_cast<size_t>(axis)] = len;
+  t.offset_ += start * strides_[static_cast<size_t>(axis)];
+  t.numel_ = NumElements(t.shape_);
+  t.contiguous_ = ComputeContiguous(t.shape_, t.strides_);
+  return t;
+}
+
+Tensor Tensor::PermuteAxes(const std::vector<int64_t>& perm) const {
+  const int64_t nd = ndim();
+  TSFM_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
+  Tensor t = *this;
+  std::vector<bool> seen(static_cast<size_t>(nd), false);
+  for (int64_t i = 0; i < nd; ++i) {
+    const int64_t p = perm[static_cast<size_t>(i)];
+    TSFM_CHECK_GE(p, 0);
+    TSFM_CHECK_LT(p, nd);
+    TSFM_CHECK(!seen[static_cast<size_t>(p)]) << "duplicate axis in permute";
+    seen[static_cast<size_t>(p)] = true;
+    t.shape_[static_cast<size_t>(i)] = shape_[static_cast<size_t>(p)];
+    t.strides_[static_cast<size_t>(i)] = strides_[static_cast<size_t>(p)];
+  }
+  t.contiguous_ = ComputeContiguous(t.shape_, t.strides_);
+  return t;
+}
+
+Tensor Tensor::Contiguous() const {
+  if (contiguous_) return *this;
+  Tensor t = Empty(shape_);
+  PackTo(*this, t.buf_->data());
+  return t;
+}
+
 Tensor Tensor::Clone() const {
-  Tensor t(shape_, *data_);
+  Tensor t = Empty(shape_);
+  PackTo(*this, t.buf_->data());
   return t;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_->begin(), data_->end(), value);
+  if (numel_ == 0) return;
+  if (contiguous_) {
+    std::fill_n(mutable_base(), numel_, value);
+    return;
+  }
+  CheckMutationAllowed();
+  float* base = buf_->data() + offset_;
+  const int64_t nd = ndim();
+  for (int64_t i = 0; i < numel_; ++i) {
+    int64_t rem = i;
+    int64_t off = 0;
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      const int64_t sz = shape_[static_cast<size_t>(d)];
+      off += (rem % sz) * strides_[static_cast<size_t>(d)];
+      rem /= sz;
+    }
+    base[off] = value;
+  }
 }
 
 std::string Tensor::ToString(int64_t max_elements) const {
@@ -150,11 +325,15 @@ std::string Tensor::ToString(int64_t max_elements) const {
   const int64_t n = std::min(numel_, max_elements);
   for (int64_t i = 0; i < n; ++i) {
     if (i) os << ", ";
-    os << (*data_)[static_cast<size_t>(i)];
+    os << (*this)[i];
   }
   if (numel_ > n) os << ", ...";
   os << "}";
   return os.str();
 }
+
+ScopedAliasCheck::ScopedAliasCheck() { ++g_alias_check_depth; }
+ScopedAliasCheck::~ScopedAliasCheck() { --g_alias_check_depth; }
+bool ScopedAliasCheck::Active() { return g_alias_check_depth > 0; }
 
 }  // namespace tsfm

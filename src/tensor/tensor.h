@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "memory/buffer_pool.h"
 
 namespace tsfm {
 
@@ -21,13 +22,25 @@ int64_t NumElements(const Shape& shape);
 /// Returns a human-readable form such as "[2, 3, 5]".
 std::string ShapeToString(const Shape& shape);
 
-/// Dense float32 tensor with row-major contiguous storage.
+/// Returns the row-major (dense, innermost-last) strides for `shape`.
+Shape DenseStrides(const Shape& shape);
+
+/// Float32 tensor: a (shape, strides, offset) view over pooled storage.
 ///
 /// `Tensor` has shared-buffer value semantics: copying a `Tensor` is cheap and
-/// aliases the same storage (like `torch.Tensor`). Operations in
-/// `tensor/ops.h` allocate fresh outputs; in-place mutation is restricted to
-/// explicit accessors (`mutable_data`, `at`). All shapes are static; there is
-/// no stride support — `Reshape` is free, other layout changes copy.
+/// aliases the same storage (like `torch.Tensor`). Storage comes from
+/// `memory::BufferPool` and returns to it when the last alias dies.
+///
+/// Layout ops are zero-copy where the layout permits: `Reshape` on a
+/// contiguous tensor, `Narrow` (and `Slice`/batch selection built on it), and
+/// `PermuteAxes` (incl. transpose) all return views that alias this storage
+/// with adjusted shape/strides/offset. Non-contiguous views satisfy reads via
+/// `at()`/`operator[]`/`base()`; kernels that need dense memory call
+/// `Contiguous()`, which materializes a packed copy only when required.
+///
+/// In-place mutation is restricted to explicit accessors (`mutable_data`,
+/// `at`). Mutating through an alias changes every view of the storage; scope a
+/// `ScopedAliasCheck` to turn such writes into fatal errors while debugging.
 class Tensor {
  public:
   /// Creates an empty (0-element, shape `[0]`) tensor.
@@ -38,13 +51,17 @@ class Tensor {
 
   /// Creates a tensor wrapping a copy of `values`; requires
   /// `values.size() == NumElements(shape)`.
-  Tensor(Shape shape, std::vector<float> values);
+  Tensor(Shape shape, const std::vector<float>& values);
 
   Tensor(const Tensor&) = default;
   Tensor& operator=(const Tensor&) = default;
   Tensor(Tensor&&) = default;
   Tensor& operator=(Tensor&&) = default;
 
+  /// Uninitialized tensor of the given shape. The fastest constructor (a
+  /// pooled buffer is handed over as-is, typically dirty) — callers MUST
+  /// overwrite every element before reading.
+  static Tensor Empty(Shape shape);
   /// Scalar (0-dim) tensor holding `value`.
   static Tensor Scalar(float value);
   /// Tensor of the given shape filled with `value`.
@@ -66,45 +83,109 @@ class Tensor {
   /// Size of dimension `d`; negative `d` counts from the end.
   int64_t dim(int64_t d) const;
 
-  const float* data() const { return data_->data(); }
-  float* mutable_data() { return data_->data(); }
+  /// Stride (in elements) of dimension `d`; negative `d` counts from the end.
+  int64_t stride(int64_t d) const;
+  const Shape& strides() const { return strides_; }
+  int64_t offset() const { return offset_; }
+  /// True if elements are laid out densely in row-major order (so `data()`
+  /// spans exactly `numel()` floats).
+  bool is_contiguous() const { return contiguous_; }
 
-  /// Element access by flat row-major index.
-  float operator[](int64_t i) const {
-    TSFM_CHECK_GE(i, 0);
-    TSFM_CHECK_LT(i, numel_);
-    return (*data_)[static_cast<size_t>(i)];
+  /// Pointer to the first element of a *contiguous* tensor. Fatal on
+  /// non-contiguous views — those must go through `base()` + strides or
+  /// `Contiguous()` first.
+  const float* data() const {
+    TSFM_CHECK(contiguous_) << "data() on non-contiguous view "
+                            << ShapeToString(shape_) << "; call Contiguous()";
+    return base();
   }
+  float* mutable_data() {
+    TSFM_CHECK(contiguous_) << "mutable_data() on non-contiguous view "
+                            << ShapeToString(shape_)
+                            << "; call Contiguous()";
+    CheckMutationAllowed();
+    return mutable_base();
+  }
+
+  /// Pointer to the element at this view's offset, with NO contiguity check:
+  /// element (i0, i1, ...) lives at `base()[i0*stride(0) + i1*stride(1)+...]`.
+  /// For stride-aware kernels only.
+  const float* base() const {
+    return buf_ ? buf_->data() + offset_ : nullptr;
+  }
+  float* mutable_base() {
+    CheckMutationAllowed();
+    return buf_ ? buf_->data() + offset_ : nullptr;
+  }
+
+  /// Element access by flat row-major index (stride-aware on views).
+  float operator[](int64_t i) const;
 
   /// Mutable element access by multi-dimensional index.
   float& at(std::initializer_list<int64_t> idx);
   /// Const element access by multi-dimensional index.
   float at(std::initializer_list<int64_t> idx) const;
 
-  /// Returns a tensor sharing this storage but viewed with `new_shape`
-  /// (element count must match). A dimension of -1 is inferred.
+  /// Returns a tensor viewing these elements with `new_shape` (element count
+  /// must match; a dimension of -1 is inferred). Zero-copy when this tensor
+  /// is contiguous; otherwise materializes a packed copy first.
   Tensor Reshape(Shape new_shape) const;
 
-  /// Deep copy with fresh storage.
+  /// Zero-copy view of `len` indices of `axis` starting at `start`.
+  Tensor Narrow(int64_t axis, int64_t start, int64_t len) const;
+
+  /// Zero-copy view with axes reordered by `perm` (a permutation of
+  /// 0..ndim-1). The transpose/permute workhorse.
+  Tensor PermuteAxes(const std::vector<int64_t>& perm) const;
+
+  /// Returns `*this` if already contiguous (no copy, aliases storage);
+  /// otherwise a packed row-major copy with fresh storage.
+  Tensor Contiguous() const;
+
+  /// Deep copy with fresh storage (always packs, never aliases).
   Tensor Clone() const;
 
   /// True if this and `other` alias the same storage.
   bool SharesStorageWith(const Tensor& other) const {
-    return data_ == other.data_;
+    return buf_ != nullptr && buf_ == other.buf_;
   }
 
-  /// Fills all elements with `value`.
+  /// Fills all elements with `value` (stride-aware).
   void Fill(float value);
 
   /// Compact preview for debugging (first few elements).
   std::string ToString(int64_t max_elements = 16) const;
 
  private:
+  struct UninitTag {};
+  Tensor(Shape shape, UninitTag);
+
   int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+  void CheckMutationAllowed() const;
 
   Shape shape_;
-  int64_t numel_;
-  std::shared_ptr<std::vector<float>> data_;
+  Shape strides_;  // element strides, same rank as shape_
+  int64_t offset_ = 0;
+  int64_t numel_ = 0;
+  bool contiguous_ = true;
+  std::shared_ptr<memory::TensorBuffer> buf_;
+};
+
+/// While any instance is alive on this thread, mutating a tensor whose
+/// storage is shared (views, copies) aborts with a fatal check. Opt-in guard
+/// for the classic footgun: `mutable_data()` on a `Reshape`d or copied tensor
+/// silently writes through every alias. Shared-buffer semantics are
+/// intentional (autograd and the ops layer rely on them), so the guard is
+/// scoped rather than always-on.
+class ScopedAliasCheck {
+ public:
+  ScopedAliasCheck();
+  ~ScopedAliasCheck();
+  ScopedAliasCheck(const ScopedAliasCheck&) = delete;
+  ScopedAliasCheck& operator=(const ScopedAliasCheck&) = delete;
+
+  /// True if a guard is active on the calling thread.
+  static bool Active();
 };
 
 }  // namespace tsfm

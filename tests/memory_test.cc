@@ -1,0 +1,214 @@
+#include "memory/buffer_pool.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace tsfm {
+namespace {
+
+using memory::BufferPool;
+using memory::PoolStats;
+
+// The pool is process-wide and other fixtures may have touched it, so every
+// test works with counter *deltas* around its own allocations.
+PoolStats Snap() { return BufferPool::Instance().Snapshot(); }
+
+// Restores the pool's enabled flag on scope exit (tests that flip it must
+// not leak the disabled state into later tests).
+class PoolEnabledGuard {
+ public:
+  PoolEnabledGuard() : was_enabled_(BufferPool::Instance().enabled()) {}
+  ~PoolEnabledGuard() {
+    BufferPool::Instance().SetEnabledForTesting(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST(BucketCapacityTest, RoundsUpToPowerOfTwoFloors) {
+  // Minimum bucket is 2^6 = 64 floats.
+  EXPECT_EQ(BufferPool::BucketCapacity(1), 64);
+  EXPECT_EQ(BufferPool::BucketCapacity(64), 64);
+  EXPECT_EQ(BufferPool::BucketCapacity(65), 128);
+  EXPECT_EQ(BufferPool::BucketCapacity(1000), 1024);
+  EXPECT_EQ(BufferPool::BucketCapacity(1024), 1024);
+  EXPECT_EQ(BufferPool::BucketCapacity(1025), 2048);
+  // Largest pooled bucket is 2^26; above that, exact-size direct allocation.
+  const int64_t max_bucket = int64_t{1} << BufferPool::kMaxBucketLog2;
+  EXPECT_EQ(BufferPool::BucketCapacity(max_bucket), max_bucket);
+  EXPECT_EQ(BufferPool::BucketCapacity(max_bucket + 1), max_bucket + 1);
+}
+
+TEST(BufferPoolTest, ReleasedBufferIsReusedWithoutHeapTraffic) {
+  BufferPool& pool = BufferPool::Instance();
+  PoolEnabledGuard guard;  // pooling semantics even under TSFM_DISABLE_POOL=1
+  pool.SetEnabledForTesting(true);
+  pool.Trim();  // start from empty freelists so the first Acquire must miss
+  const PoolStats s0 = Snap();
+  { Tensor t(Shape{1000}); }  // acquire + release one 1024-float bucket
+  const PoolStats s1 = Snap();
+  EXPECT_EQ(s1.acquires - s0.acquires, 1u);
+  EXPECT_EQ(s1.releases - s0.releases, 1u);
+  EXPECT_EQ(s1.heap_allocs - s0.heap_allocs, 1u);
+  EXPECT_EQ(s1.pool_hits - s0.pool_hits, 0u);
+
+  // Same bucket again: served from the freelist, zero heap traffic.
+  { Tensor t(Shape{10, 100}); }
+  const PoolStats s2 = Snap();
+  EXPECT_EQ(s2.acquires - s1.acquires, 1u);
+  EXPECT_EQ(s2.pool_hits - s1.pool_hits, 1u);
+  EXPECT_EQ(s2.heap_allocs - s1.heap_allocs, 0u);
+}
+
+TEST(BufferPoolTest, ByteCountersTrackBucketCapacity) {
+  PoolEnabledGuard guard;
+  BufferPool::Instance().SetEnabledForTesting(true);
+  const PoolStats s0 = Snap();
+  const int64_t n = 1000;  // rounds up to 1024 floats
+  const uint64_t cap_bytes =
+      static_cast<uint64_t>(BufferPool::BucketCapacity(n)) * sizeof(float);
+  Tensor t(Shape{n});
+  const PoolStats s1 = Snap();
+  EXPECT_EQ(s1.live_bytes - s0.live_bytes, cap_bytes);
+  EXPECT_GE(s1.peak_live_bytes, s1.live_bytes);
+}
+
+TEST(BufferPoolTest, LiveBytesReturnToBaselineAfterRelease) {
+  const PoolStats s0 = Snap();
+  {
+    Tensor a(Shape{512});
+    Tensor b(Shape{64, 64});
+    Tensor c = Add(a.Reshape(Shape{512}), Tensor::Ones(Shape{512}));
+    (void)c;
+  }
+  const PoolStats s1 = Snap();
+  EXPECT_EQ(s1.live_bytes, s0.live_bytes);
+  EXPECT_EQ(s1.acquires - s0.acquires, s1.releases - s0.releases);
+}
+
+TEST(BufferPoolTest, ViewsAreZeroAllocation) {
+  Tensor x = Tensor::Arange(4 * 6 * 8).Reshape(Shape{4, 6, 8});
+  const PoolStats s0 = Snap();
+  // Every layout op the fine-tune loops lean on: batch selection (axis-0
+  // slice), time/channel slicing, reshape of a contiguous tensor, transpose,
+  // and plain tensor copies. None may touch the allocator.
+  Tensor batch = Slice(x, 0, 1, 3);
+  Tensor steps = Slice(x, 1, 2, 5);
+  Tensor chans = Slice(x, 2, 0, 4);
+  Tensor flat = x.Reshape(Shape{24, 8});
+  Tensor swapped = TransposeLast2(x);
+  Tensor perm = Permute(x, {2, 0, 1});
+  Tensor narrowed = x.Narrow(0, 0, 2);
+  Tensor alias = x;
+  const PoolStats s1 = Snap();
+  EXPECT_EQ(s1.acquires - s0.acquires, 0u);
+  EXPECT_EQ(s1.heap_allocs - s0.heap_allocs, 0u);
+  // They really are views of x, not copies.
+  EXPECT_TRUE(batch.SharesStorageWith(x));
+  EXPECT_TRUE(steps.SharesStorageWith(x));
+  EXPECT_TRUE(chans.SharesStorageWith(x));
+  EXPECT_TRUE(flat.SharesStorageWith(x));
+  EXPECT_TRUE(swapped.SharesStorageWith(x));
+  EXPECT_TRUE(perm.SharesStorageWith(x));
+  EXPECT_TRUE(narrowed.SharesStorageWith(x));
+  EXPECT_TRUE(alias.SharesStorageWith(x));
+}
+
+TEST(BufferPoolTest, ViewKeepsStorageAliveAfterParentDies) {
+  const PoolStats s0 = Snap();
+  Tensor view;
+  {
+    Tensor parent = Tensor::Arange(100).Reshape(Shape{10, 10});
+    view = Slice(parent, 0, 3, 5);
+  }
+  // The parent is gone but its buffer must stay live for the view.
+  const PoolStats s1 = Snap();
+  EXPECT_GT(s1.live_bytes, s0.live_bytes);
+  EXPECT_FLOAT_EQ(view.at({0, 0}), 30.0f);
+  EXPECT_FLOAT_EQ(view.at({1, 9}), 49.0f);
+  view = Tensor();  // last alias dies -> storage released
+  const PoolStats s2 = Snap();
+  EXPECT_LE(s2.live_bytes, s0.live_bytes + 64 * sizeof(float));
+}
+
+TEST(BufferPoolTest, ThreadSafeUnderParallelFor) {
+  const PoolStats s0 = Snap();
+  // Hammer the pool from every worker: mixed sizes, immediate release.
+  runtime::ParallelFor(0, 512, /*grain=*/1, [](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Tensor t(Shape{(i % 7 + 1) * 50});
+      Tensor u = Add(t, Tensor::Ones(t.shape()));
+      ASSERT_FLOAT_EQ(u[0], 1.0f);
+    }
+  });
+  const PoolStats s1 = Snap();
+  EXPECT_EQ(s1.live_bytes, s0.live_bytes);
+  EXPECT_EQ(s1.acquires - s0.acquires, s1.releases - s0.releases);
+  EXPECT_GE(s1.acquires - s0.acquires, 512u * 3u);
+}
+
+TEST(BufferPoolTest, DisabledPoolPassesThroughToHeap) {
+  BufferPool& pool = BufferPool::Instance();
+  PoolEnabledGuard guard;
+  pool.SetEnabledForTesting(true);
+  pool.SetEnabledForTesting(false);
+  const PoolStats s0 = Snap();
+  { Tensor t(Shape{1000}); }
+  const PoolStats s1 = Snap();
+  // Exact-size heap allocation, freed (not cached) on release.
+  EXPECT_EQ(s1.heap_allocs - s0.heap_allocs, 1u);
+  EXPECT_EQ(s1.heap_frees - s0.heap_frees, 1u);
+  EXPECT_EQ(s1.pool_hits - s0.pool_hits, 0u);
+  EXPECT_EQ(s1.cached_bytes, s0.cached_bytes);
+  EXPECT_EQ(s1.live_bytes, s0.live_bytes);
+
+  pool.SetEnabledForTesting(true);
+  // Back on: the release parks in a freelist instead of hitting the heap.
+  { Tensor t(Shape{1000}); }
+  const PoolStats s2 = Snap();
+  EXPECT_EQ(s2.heap_frees, s1.heap_frees);
+  EXPECT_GE(s2.cached_bytes, s1.cached_bytes);
+}
+
+TEST(BufferPoolTest, TrimFreesCachedBuffers) {
+  BufferPool& pool = BufferPool::Instance();
+  PoolEnabledGuard guard;
+  pool.SetEnabledForTesting(true);
+  { Tensor t(Shape{2048}); }  // leaves a cached bucket behind
+  const PoolStats s0 = Snap();
+  EXPECT_GT(s0.cached_bytes, 0u);
+  pool.Trim();
+  const PoolStats s1 = Snap();
+  EXPECT_EQ(s1.cached_bytes, 0u);
+  EXPECT_GT(s1.heap_frees, s0.heap_frees);
+  EXPECT_EQ(s1.live_bytes, s0.live_bytes);  // live buffers untouched
+}
+
+TEST(BufferPoolTest, ResetPeakClampsToCurrentLive) {
+  BufferPool& pool = BufferPool::Instance();
+  { Tensor big(Shape{1 << 16}); }  // spike the peak, then release
+  pool.ResetPeak();
+  const PoolStats s = Snap();
+  EXPECT_EQ(s.peak_live_bytes, s.live_bytes);
+}
+
+TEST(BufferPoolTest, PeakSeesTemporarySpike) {
+  BufferPool& pool = BufferPool::Instance();
+  pool.ResetPeak();
+  const PoolStats s0 = Snap();
+  { Tensor big(Shape{1 << 16}); }
+  const PoolStats s1 = Snap();
+  EXPECT_GE(s1.peak_live_bytes - s0.live_bytes,
+            static_cast<uint64_t>(1 << 16) * sizeof(float));
+  EXPECT_EQ(s1.live_bytes, s0.live_bytes);
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -122,6 +122,128 @@ TEST(TensorTest, ToStringTruncates) {
   EXPECT_NE(s.find("..."), std::string::npos);
 }
 
+// ----------------------------- View semantics ------------------------------
+
+TEST(TensorViewTest, NarrowIsAnAliasedWindow) {
+  Tensor a = Tensor::Arange(12).Reshape({3, 4});
+  Tensor v = a.Narrow(0, 1, 2);  // rows 1..2
+  EXPECT_TRUE(v.SharesStorageWith(a));
+  EXPECT_EQ(v.dim(0), 2);
+  EXPECT_EQ(v.offset(), 4);
+  EXPECT_FLOAT_EQ(v.at({0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(v.at({1, 3}), 11.0f);
+  // Axis-0 windows of a contiguous tensor stay contiguous (batch selection
+  // is zero-copy AND dense).
+  EXPECT_TRUE(v.is_contiguous());
+  // A middle-axis window is a genuine strided view.
+  Tensor w = a.Narrow(1, 1, 2);
+  EXPECT_FALSE(w.is_contiguous());
+  EXPECT_FLOAT_EQ(w.at({2, 1}), 10.0f);
+}
+
+TEST(TensorViewTest, PermuteAxesReadsMatchContiguousCopy) {
+  Rng rng(5);
+  Tensor a = Tensor::RandN({2, 3, 4}, &rng);
+  Tensor t = a.PermuteAxes({2, 0, 1});  // (4, 2, 3)
+  EXPECT_TRUE(t.SharesStorageWith(a));
+  EXPECT_FALSE(t.is_contiguous());
+  Tensor c = t.Contiguous();
+  EXPECT_FALSE(c.SharesStorageWith(a));
+  EXPECT_TRUE(c.is_contiguous());
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      for (int64_t k = 0; k < 3; ++k) {
+        // Strided reads through the view agree with the packed copy and
+        // with the source indexed directly.
+        EXPECT_FLOAT_EQ(t.at({i, j, k}), a.at({j, k, i}));
+        EXPECT_FLOAT_EQ(c.at({i, j, k}), a.at({j, k, i}));
+      }
+    }
+  }
+}
+
+TEST(TensorViewTest, FlatIndexingIsStrideAware) {
+  Tensor a = Tensor::Arange(6).Reshape({2, 3});
+  Tensor t = a.PermuteAxes({1, 0});  // (3, 2): [[0,3],[1,4],[2,5]]
+  Tensor c = t.Contiguous();
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], c[i]);
+}
+
+TEST(TensorViewTest, ContiguousOnContiguousIsFree) {
+  Tensor a(Shape{2, 3});
+  Tensor c = a.Contiguous();
+  EXPECT_TRUE(c.SharesStorageWith(a));  // no copy when already dense
+}
+
+TEST(TensorViewTest, CloneOfViewIsDeepAndPacked) {
+  Tensor a = Tensor::Arange(12).Reshape({3, 4});
+  Tensor v = a.PermuteAxes({1, 0});
+  Tensor c = v.Clone();
+  EXPECT_FALSE(c.SharesStorageWith(a));
+  EXPECT_TRUE(c.is_contiguous());
+  EXPECT_FLOAT_EQ(c.at({3, 2}), v.at({3, 2}));
+  // Mutating the clone leaves the source untouched.
+  c.mutable_data()[0] = 99.0f;
+  EXPECT_FLOAT_EQ(a.at({0, 0}), 0.0f);
+}
+
+TEST(TensorViewTest, ReshapeOfNonContiguousViewMaterializes) {
+  Tensor a = Tensor::Arange(6).Reshape({2, 3});
+  Tensor t = a.PermuteAxes({1, 0});
+  Tensor r = t.Reshape({6});
+  // The regrouping can't be expressed with strides, so it must be a copy —
+  // in transposed (column-major) order.
+  EXPECT_FALSE(r.SharesStorageWith(a));
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[1], 3.0f);
+  EXPECT_FLOAT_EQ(r[2], 1.0f);
+}
+
+TEST(TensorViewTest, FillThroughStridedViewHitsOnlyTheWindow) {
+  Tensor a(Shape{3, 4});
+  Tensor v = a.Narrow(1, 1, 2);
+  v.Fill(5.0f);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(a.at({i, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(a.at({i, 1}), 5.0f);
+    EXPECT_FLOAT_EQ(a.at({i, 2}), 5.0f);
+    EXPECT_FLOAT_EQ(a.at({i, 3}), 0.0f);
+  }
+}
+
+TEST(TensorViewDeathTest, DataOnNonContiguousViewAborts) {
+  Tensor a(Shape{2, 3});
+  Tensor t = a.PermuteAxes({1, 0});
+  EXPECT_DEATH(t.data(), "non-contiguous");
+  EXPECT_DEATH(t.mutable_data(), "non-contiguous");
+}
+
+TEST(TensorViewDeathTest, ScopedAliasCheckCatchesSharedMutation) {
+  // The footgun this guards: mutable_data() on a Reshape'd tensor writes
+  // through the original too. With a guard active that's fatal.
+  Tensor a(Shape{2, 3});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_DEATH(
+      {
+        ScopedAliasCheck guard;
+        b.mutable_data()[0] = 1.0f;
+      },
+      "shared tensor storage");
+}
+
+TEST(TensorViewTest, ScopedAliasCheckAllowsUniqueOwners) {
+  ScopedAliasCheck guard;
+  EXPECT_TRUE(ScopedAliasCheck::Active());
+  Tensor a(Shape{2, 3});  // sole owner: mutation is fine
+  a.mutable_data()[0] = 1.0f;
+  a.Fill(2.0f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+}
+
+TEST(TensorViewTest, AliasCheckInactiveByDefault) {
+  EXPECT_FALSE(ScopedAliasCheck::Active());
+}
+
 TEST(TensorDeathTest, BadValueCountAborts) {
   EXPECT_DEATH(Tensor(Shape{2, 2}, {1.0f, 2.0f}), "value count");
 }
