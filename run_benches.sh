@@ -23,3 +23,19 @@ for b in bench_micro_kernels bench_micro_adapters bench_micro_encoder; do
     --benchmark_out="$TSFM_BENCH_OUT/BENCH_${b#bench_}.json" \
     --benchmark_out_format=json 2>/dev/null
 done
+
+# TSFM_BENCH_BASELINE=1 additionally refreshes the committed perf baseline
+# that the CI bench-regression job compares PRs against. Commit the updated
+# bench_results/BENCH_baseline.json alongside any intentional perf change.
+if [ "${TSFM_BENCH_BASELINE:-0}" = "1" ]; then
+  echo "================================================================"
+  echo "== refreshing $TSFM_BENCH_OUT/BENCH_baseline.json"
+  echo "================================================================"
+  # TSFM_NUM_THREADS is pinned to match the CI bench-regression job so the
+  # baseline and the gated candidate run measure the same configuration.
+  TSFM_NUM_THREADS=2 ./build/bench/bench_micro_kernels \
+    --benchmark_filter='BM_MatMulSquare|BM_FineTuneInnerLoopAlloc' \
+    --benchmark_min_time=0.1 \
+    --benchmark_out="$TSFM_BENCH_OUT/BENCH_baseline.json" \
+    --benchmark_out_format=json 2>/dev/null
+fi

@@ -1,5 +1,7 @@
 #include "core/lcomb_adapter.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <istream>
@@ -21,6 +23,7 @@ LinearCombinerAdapter::LinearCombinerAdapter(const AdapterOptions& options,
 
 Status LinearCombinerAdapter::Fit(const Tensor& x,
                                   const std::vector<int64_t>& y) {
+  TSFM_TRACE_SPAN("adapter.lcomb.fit");
   (void)y;
   if (x.ndim() != 3) {
     return Status::InvalidArgument("adapter input must be (N, T, D)");
@@ -85,6 +88,7 @@ ag::Var LinearCombinerAdapter::TransformVar(const ag::Var& x) const {
 }
 
 Result<Tensor> LinearCombinerAdapter::Transform(const Tensor& x) const {
+  TSFM_TRACE_SPAN("adapter.lcomb.transform");
   if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
   if (x.ndim() != 3 || x.dim(2) != in_channels_) {
     return Status::InvalidArgument("bad input shape for lcomb Transform");

@@ -1,5 +1,7 @@
 #include "core/lda_adapter.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <istream>
@@ -18,6 +20,7 @@ LdaAdapter::LdaAdapter(const AdapterOptions& options)
 AdapterKind LdaAdapter::kind() const { return AdapterKind::kLda; }
 
 Status LdaAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  TSFM_TRACE_SPAN("adapter.lda.fit");
   if (x.ndim() != 3) {
     return Status::InvalidArgument("adapter input must be (N, T, D)");
   }
@@ -136,6 +139,7 @@ Status LdaAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
 }
 
 Result<Tensor> LdaAdapter::Transform(const Tensor& x) const {
+  TSFM_TRACE_SPAN("adapter.lda.transform");
   if (!fitted_) return Status::FailedPrecondition("LDA adapter not fitted");
   if (x.ndim() != 3 || x.dim(2) != in_channels_) {
     return Status::InvalidArgument("bad input shape for LDA Transform");

@@ -1,5 +1,7 @@
 #include "core/pca_adapter.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <istream>
 #include <ostream>
@@ -47,6 +49,7 @@ std::string PcaAdapter::name() const {
 }
 
 Status PcaAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  TSFM_TRACE_SPAN("adapter.pca.fit");
   (void)y;  // unsupervised
   TSFM_ASSIGN_OR_RETURN(Tensor design, ToDesignMatrix(x, patch_window_));
   const int64_t in_dim = design.dim(1);
@@ -111,6 +114,7 @@ Status PcaAdapter::LoadState(std::istream* is) {
 }
 
 Result<Tensor> PcaAdapter::Transform(const Tensor& x) const {
+  TSFM_TRACE_SPAN("adapter.pca.transform");
   if (!fitted_) return Status::FailedPrecondition("PCA adapter not fitted");
   if (x.ndim() != 3) {
     return Status::InvalidArgument("adapter input must be (N, T, D)");

@@ -1,5 +1,7 @@
 #include "core/static_adapters.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <istream>
@@ -69,6 +71,7 @@ Status IdentityAdapter::LoadState(std::istream* is) {
 }
 
 Status SvdAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  TSFM_TRACE_SPAN("adapter.svd.fit");
   (void)y;
   TSFM_RETURN_IF_ERROR(CheckInput3d(x));
   const int64_t d = x.dim(2);
@@ -88,6 +91,7 @@ Status SvdAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
 }
 
 Result<Tensor> SvdAdapter::Transform(const Tensor& x) const {
+  TSFM_TRACE_SPAN("adapter.svd.transform");
   if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
   TSFM_RETURN_IF_ERROR(CheckInput3d(x));
   if (x.dim(2) != in_channels_) {
@@ -120,6 +124,7 @@ Status SvdAdapter::LoadState(std::istream* is) {
 }
 
 Status RandProjAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  TSFM_TRACE_SPAN("adapter.rand_proj.fit");
   (void)y;
   TSFM_RETURN_IF_ERROR(CheckInput3d(x));
   const int64_t d = x.dim(2);
@@ -136,6 +141,7 @@ Status RandProjAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
 }
 
 Result<Tensor> RandProjAdapter::Transform(const Tensor& x) const {
+  TSFM_TRACE_SPAN("adapter.rand_proj.transform");
   if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
   TSFM_RETURN_IF_ERROR(CheckInput3d(x));
   if (x.dim(2) != in_channels_) {
@@ -166,6 +172,7 @@ Status RandProjAdapter::LoadState(std::istream* is) {
 }
 
 Status VarAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
+  TSFM_TRACE_SPAN("adapter.var.fit");
   (void)y;
   TSFM_RETURN_IF_ERROR(CheckInput3d(x));
   const int64_t d = x.dim(2);
@@ -186,6 +193,7 @@ Status VarAdapter::Fit(const Tensor& x, const std::vector<int64_t>& y) {
 }
 
 Result<Tensor> VarAdapter::Transform(const Tensor& x) const {
+  TSFM_TRACE_SPAN("adapter.var.transform");
   if (!fitted_) return Status::FailedPrecondition("adapter not fitted");
   TSFM_RETURN_IF_ERROR(CheckInput3d(x));
   if (x.dim(2) != in_channels_) {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optim.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
@@ -17,6 +19,41 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Training-loop telemetry: every epoch (head-only and joint alike) records
+// its wall-clock and throughput and publishes the running loss, so a
+// metrics snapshot taken mid-run answers "how fast and how converged".
+struct LoopMetrics {
+  obs::Counter* epochs;
+  obs::Counter* steps;
+  obs::Histogram* epoch_seconds;
+  obs::Gauge* last_loss;
+  obs::Gauge* samples_per_sec;
+  obs::Histogram* adapter_fit_seconds;
+};
+
+LoopMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static LoopMetrics m{r.GetCounter("finetune.epochs"),
+                       r.GetCounter("finetune.steps"),
+                       r.GetHistogram("finetune.epoch_seconds"),
+                       r.GetGauge("finetune.last_loss"),
+                       r.GetGauge("finetune.samples_per_sec"),
+                       r.GetHistogram("adapter.fit_seconds")};
+  return m;
+}
+
+// Publishes one finished epoch: loss gauge, epoch timing histogram, and the
+// samples/s gauge the throughput regressions are judged by.
+void RecordEpoch(double seconds, double mean_loss, int64_t samples) {
+  LoopMetrics& m = Metrics();
+  m.epochs->Add(1);
+  m.epoch_seconds->Observe(seconds);
+  m.last_loss->Set(mean_loss);
+  if (seconds > 0.0) {
+    m.samples_per_sec->Set(static_cast<double>(samples) / seconds);
+  }
+}
+
 // Argmax predictions of a logits matrix (N, C).
 std::vector<int64_t> Predict(const Tensor& logits) { return ArgMaxLast(logits); }
 
@@ -29,6 +66,8 @@ double TrainHead(models::ClassificationHead* head,
                    options.weight_decay);
   double last = 0.0;
   for (int64_t epoch = 0; epoch < options.head_epochs; ++epoch) {
+    TSFM_TRACE_SPAN("finetune.head_epoch");
+    const auto t_epoch = Clock::now();
     auto batches =
         data::MakeBatches(embeddings.dim(0), options.batch_size, rng);
     double loss_sum = 0.0;
@@ -45,7 +84,9 @@ double TrainHead(models::ClassificationHead* head,
       head->ZeroGrad();
       loss_sum += loss.value()[0];
     }
+    Metrics().steps->Add(batches.size());
     last = loss_sum / static_cast<double>(batches.size());
+    RecordEpoch(SecondsSince(t_epoch), last, embeddings.dim(0));
   }
   return last;
 }
@@ -74,6 +115,7 @@ const char* StrategyName(Strategy strategy) {
 
 Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
                     int64_t batch_size, uint64_t seed) {
+  TSFM_TRACE_SPAN("finetune.embed_dataset");
   const int64_t n = x.dim(0);
   const int64_t bs = std::max<int64_t>(1, batch_size);
   const int64_t num_batches = (n + bs - 1) / bs;
@@ -142,7 +184,9 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   // 2. Fit the adapter on the training split.
   const auto t_adapter = Clock::now();
   if (adapter != nullptr) {
+    TSFM_TRACE_SPAN("finetune.adapter_fit");
     TSFM_RETURN_IF_ERROR(adapter->Fit(train_n.x, train_n.y));
+    Metrics().adapter_fit_seconds->Observe(SecondsSince(t_adapter));
   }
   result.adapter_fit_seconds = SecondsSince(t_adapter);
 
@@ -198,6 +242,8 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
 
   double last = 0.0;
   for (int64_t epoch = 0; epoch < options.joint_epochs; ++epoch) {
+    TSFM_TRACE_SPAN("finetune.joint_epoch");
+    const auto t_epoch = Clock::now();
     auto batches =
         data::MakeBatches(train_n.size(), options.batch_size, &rng);
     double loss_sum = 0.0;
@@ -223,7 +269,9 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
       head.ZeroGrad();
       loss_sum += loss.value()[0];
     }
+    Metrics().steps->Add(batches.size());
     last = loss_sum / static_cast<double>(batches.size());
+    RecordEpoch(SecondsSince(t_epoch), last, train_n.size());
   }
   result.final_loss = last;
   result.train_seconds = SecondsSince(t_train);
@@ -232,6 +280,7 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   // run in parallel; per-batch predictions are stitched together in batch
   // order so the result matches the serial loop.
   auto evaluate = [&](const data::TimeSeriesDataset& ds) -> Result<double> {
+    TSFM_TRACE_SPAN("finetune.evaluate");
     const int64_t bs = std::max<int64_t>(1, options.batch_size);
     const int64_t num_batches = (ds.size() + bs - 1) / bs;
     std::vector<std::vector<int64_t>> batch_preds(

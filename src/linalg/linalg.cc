@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -38,6 +40,10 @@ Tensor Covariance(const Tensor& x, bool center) {
 
 Result<EigenResult> SymmetricEigen(const Tensor& a, int max_sweeps,
                                    float symmetry_tol) {
+  TSFM_TRACE_SPAN("linalg.symmetric_eigen");
+  static obs::Counter* const counter =
+      obs::Registry::Instance().GetCounter("linalg.eigen_calls");
+  counter->Add(1);
   if (a.ndim() != 2 || a.dim(0) != a.dim(1)) {
     return Status::InvalidArgument("SymmetricEigen requires a square matrix, got " +
                                    ShapeToString(a.shape()));
@@ -161,6 +167,10 @@ Result<EigenResult> SymmetricEigen(const Tensor& a, int max_sweeps,
 
 Result<EigenResult> TopKEigen(const Tensor& a, int64_t k, uint64_t seed,
                               int max_iters, double tol) {
+  TSFM_TRACE_SPAN("linalg.topk_eigen");
+  static obs::Counter* const counter =
+      obs::Registry::Instance().GetCounter("linalg.eigen_calls");
+  counter->Add(1);
   if (a.ndim() != 2 || a.dim(0) != a.dim(1)) {
     return Status::InvalidArgument("TopKEigen requires a square matrix");
   }
@@ -235,6 +245,10 @@ Result<EigenResult> TopKEigen(const Tensor& a, int64_t k, uint64_t seed,
 }
 
 Result<SvdResult> TruncatedSvd(const Tensor& x, int64_t k) {
+  TSFM_TRACE_SPAN("linalg.truncated_svd");
+  static obs::Counter* const counter =
+      obs::Registry::Instance().GetCounter("linalg.svd_calls");
+  counter->Add(1);
   if (x.ndim() != 2) {
     return Status::InvalidArgument("TruncatedSvd requires a 2-D matrix");
   }
@@ -281,6 +295,10 @@ Result<SvdResult> TruncatedSvd(const Tensor& x, int64_t k) {
 }
 
 Result<QrResult> QrDecomposition(const Tensor& a) {
+  TSFM_TRACE_SPAN("linalg.qr");
+  static obs::Counter* const counter =
+      obs::Registry::Instance().GetCounter("linalg.qr_calls");
+  counter->Add(1);
   if (a.ndim() != 2 || a.dim(0) < a.dim(1)) {
     return Status::InvalidArgument(
         "QrDecomposition requires (m, n) with m >= n");

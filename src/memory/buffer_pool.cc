@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tsfm::memory {
 namespace {
@@ -36,7 +37,32 @@ BufferPool& BufferPool::Instance() {
   // Intentionally leaked: tensors with static storage duration may release
   // buffers after main() returns, so the pool must outlive every tensor.
   static BufferPool* pool = new BufferPool();
+  static bool metrics_registered = (RegisterPoolMetrics(), true);
+  (void)metrics_registered;
   return *pool;
+}
+
+void RegisterPoolMetrics() {
+  // The provider pulls a PoolStats snapshot at registry-snapshot time, so
+  // the pool keeps its one internal struct (updated under its own mutex)
+  // and pays nothing per Acquire/Release for being observable.
+  obs::Registry::Instance().RegisterProvider(
+      "memory.pool",
+      [](obs::Snapshot* snap) {
+        const PoolStats s = BufferPool::Instance().Snapshot();
+        (*snap)["pool.acquires"] = static_cast<double>(s.acquires);
+        (*snap)["pool.releases"] = static_cast<double>(s.releases);
+        (*snap)["pool.pool_hits"] = static_cast<double>(s.pool_hits);
+        (*snap)["pool.heap_allocs"] = static_cast<double>(s.heap_allocs);
+        (*snap)["pool.heap_frees"] = static_cast<double>(s.heap_frees);
+        (*snap)["pool.live_bytes"] = static_cast<double>(s.live_bytes);
+        (*snap)["pool.peak_live_bytes"] =
+            static_cast<double>(s.peak_live_bytes);
+        (*snap)["pool.cached_bytes"] = static_cast<double>(s.cached_bytes);
+        (*snap)["pool.enabled"] =
+            BufferPool::Instance().enabled() ? 1.0 : 0.0;
+      },
+      [] { BufferPool::Instance().ResetPeak(); });
 }
 
 int64_t BufferPool::BucketCapacity(int64_t numel) {

@@ -111,6 +111,14 @@ class TensorBuffer {
   int bucket_;
 };
 
+/// Registers the pool's counters with obs::Registry as a snapshot provider
+/// (names "pool.acquires", "pool.live_bytes", ... matching PoolStats fields)
+/// plus a reset-peak hook wired to BufferPool::ResetPeak. Idempotent; called
+/// automatically when the pool is first constructed, and explicitly by code
+/// (resources::MeasurePeak) that reads pool.* from the registry and must not
+/// depend on a tensor having been allocated first.
+void RegisterPoolMetrics();
+
 }  // namespace tsfm::memory
 
 #endif  // TSFM_MEMORY_BUFFER_POOL_H_

@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tsfm::obs {
+
+namespace {
+
+// Bucket index for value `v` (clamped to the table edges).
+int BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the lowest bucket
+  int exp = 0;
+  std::frexp(v, &exp);
+  // frexp returns v = m * 2^exp with m in [0.5, 1), so the lower bound of
+  // the containing power-of-two interval is 2^(exp-1).
+  const int i = (exp - 1) - Histogram::kMinExp;
+  if (i < 0) return 0;
+  if (i >= Histogram::kNumBuckets) return Histogram::kNumBuckets - 1;
+  return i;
+}
+
+void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+  // Extrema take a mutex, but only when the current observation actually
+  // extends the range — steady-state observations skip it entirely.
+  if (!has_extrema_.load(std::memory_order_acquire) ||
+      v < min_.load(std::memory_order_relaxed) ||
+      v > max_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(extrema_mu_);
+    if (!has_extrema_.load(std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+      max_.store(v, std::memory_order_relaxed);
+      has_extrema_.store(true, std::memory_order_release);
+    } else {
+      if (v < min_.load(std::memory_order_relaxed)) {
+        min_.store(v, std::memory_order_relaxed);
+      }
+      if (v > max_.load(std::memory_order_relaxed)) {
+        max_.store(v, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::BucketLowerBound(int i) {
+  return std::ldexp(1.0, kMinExp + i);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+  const double target = p * static_cast<double>(n);
+  double cum = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (cum + static_cast<double>(c) >= target) {
+      // Linear interpolation inside the bucket, clamped to observed extrema
+      // so single-bucket histograms report exact-ish values.
+      const double lo = std::max(BucketLowerBound(i), min());
+      const double hi = std::min(BucketLowerBound(i + 1), max());
+      const double frac = (target - cum) / static_cast<double>(c);
+      return lo + frac * (hi - lo);
+    }
+    cum += static_cast<double>(c);
+  }
+  return max();
+}
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  static bool exit_dump_installed = (InstallExitDumpFromEnv(), true);
+  (void)exit_dump_installed;
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TSFM_CHECK(gauges_.find(name) == gauges_.end() &&
+             histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered with another type";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TSFM_CHECK(counters_.find(name) == counters_.end() &&
+             histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered with another type";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TSFM_CHECK(counters_.find(name) == counters_.end() &&
+             gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered with another type";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Registry::RegisterProvider(const std::string& name,
+                                std::function<void(Snapshot*)> fn,
+                                std::function<void()> reset_peak) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[name] = Provider{std::move(fn), std::move(reset_peak)};
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  // Copy the callbacks out so provider bodies run unlocked (a provider may
+  // itself take a subsystem lock, e.g. the BufferPool's).
+  std::vector<std::function<void(Snapshot*)>> provider_fns;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      snap[name] = static_cast<double>(c->value());
+    }
+    for (const auto& [name, g] : gauges_) {
+      snap[name] = g->value();
+    }
+    for (const auto& [name, h] : histograms_) {
+      snap[name + ".count"] = static_cast<double>(h->count());
+      snap[name + ".sum"] = h->sum();
+      if (h->count() > 0) {
+        snap[name + ".p50"] = h->Percentile(0.5);
+        snap[name + ".p99"] = h->Percentile(0.99);
+        snap[name + ".max"] = h->max();
+      }
+    }
+    provider_fns.reserve(providers_.size());
+    for (const auto& [name, p] : providers_) provider_fns.push_back(p.fn);
+  }
+  for (const auto& fn : provider_fns) {
+    if (fn) fn(&snap);
+  }
+  return snap;
+}
+
+void Registry::ResetPeaks() const {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, p] : providers_) {
+      if (p.reset_peak) hooks.push_back(p.reset_peak);
+    }
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+std::string Registry::RenderText() const {
+  const Snapshot snap = TakeSnapshot();
+  std::ostringstream os;
+  for (const auto& [name, value] : snap) {
+    // Integral values print without a fraction so counter dumps stay clean.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+      os << name << " " << static_cast<int64_t>(value) << "\n";
+    } else {
+      os << name << " " << value << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+void DumpMetricsAtExit() {
+  const char* env = std::getenv("TSFM_METRICS");
+  if (env == nullptr || env[0] == '\0') return;
+  const std::string dest(env);
+  const std::string text = Registry::Instance().RenderText();
+  if (dest == "stdout") {
+    std::fputs(text.c_str(), stdout);
+  } else if (dest == "stderr" || dest == "1") {
+    std::fputs(text.c_str(), stderr);
+  } else {
+    std::ofstream os(dest, std::ios::trunc);
+    if (os) os << text;
+  }
+}
+
+}  // namespace
+
+void InstallExitDumpFromEnv() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  const char* env = std::getenv("TSFM_METRICS");
+  if (env != nullptr && env[0] != '\0') std::atexit(DumpMetricsAtExit);
+}
+
+}  // namespace tsfm::obs

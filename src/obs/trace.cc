@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace tsfm::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Fixed-capacity event ring. 1<<18 events (~8 MiB) holds several seconds of
+// op-level spans; older events are overwritten once full so a long run keeps
+// its most recent window rather than growing without bound.
+constexpr int64_t kRingCapacity = int64_t{1} << 18;
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  int64_t next = 0;        // ring slot for the next event
+  int64_t size = 0;        // number of valid events (<= kRingCapacity)
+  int64_t dropped = 0;     // events that overwrote an older one
+  Clock::time_point epoch = Clock::now();
+  std::string exit_path;   // non-empty => atexit writer installed
+};
+
+TraceState& State() {
+  static TraceState* s = new TraceState();  // leaked: spans may outlive main
+  return *s;
+}
+
+std::atomic<int> g_next_tid{0};
+
+int ThreadId() {
+  thread_local int tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              State().epoch)
+      .count();
+}
+
+void WriteTraceAtExit() {
+  TraceState& s = State();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    path = s.exit_path;
+  }
+  if (!path.empty()) WriteTrace(path);
+}
+
+// Resolves TSFM_TRACE once: when set, enables recording and registers the
+// exit-time writer. Returns the initial enabled state.
+bool InitFromEnv() {
+  const char* env = std::getenv("TSFM_TRACE");
+  if (env == nullptr || env[0] == '\0') return false;
+  TraceState& s = State();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.exit_path = env;
+  }
+  std::atexit(WriteTraceAtExit);
+  s.enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  TraceState& s = State();
+  static bool env_checked = (InitFromEnv(), true);
+  (void)env_checked;
+  return s.enabled;
+}
+
+void Record(const char* name, int64_t start_ns, int64_t dur_ns) {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.empty()) s.ring.resize(static_cast<size_t>(kRingCapacity));
+  TraceEvent& e = s.ring[static_cast<size_t>(s.next)];
+  e.name = name;
+  e.tid = ThreadId();
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  s.next = (s.next + 1) % kRingCapacity;
+  if (s.size < kRingCapacity) {
+    ++s.size;
+  } else {
+    ++s.dropped;
+  }
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void EnableTracing() { EnabledFlag().store(true, std::memory_order_relaxed); }
+
+void DisableTracing() { EnabledFlag().store(false, std::memory_order_relaxed); }
+
+int64_t TraceEventCount() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.size;
+}
+
+int64_t TraceDroppedCount() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dropped;
+}
+
+std::vector<TraceEvent> TraceSnapshot() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(s.size));
+  // Oldest event first: when the ring has wrapped, `next` points at it.
+  const int64_t start = (s.size == kRingCapacity) ? s.next : 0;
+  for (int64_t i = 0; i < s.size; ++i) {
+    out.push_back(s.ring[static_cast<size_t>((start + i) % kRingCapacity)]);
+  }
+  return out;
+}
+
+void ClearTrace() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.next = 0;
+  s.size = 0;
+  s.dropped = 0;
+}
+
+bool WriteTrace(const std::string& path) {
+  const std::vector<TraceEvent> events = TraceSnapshot();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome's Trace Event Format: complete events ("ph":"X") with ts/dur
+    // in fractional microseconds.
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  e.name, e.tid, static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    os << buf;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return static_cast<bool>(os);
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(TraceEnabled() ? name : nullptr),
+      start_ns_(name_ != nullptr ? NowNs() : 0) {}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  Record(name_, start_ns_, NowNs() - start_ns_);
+}
+
+}  // namespace tsfm::obs

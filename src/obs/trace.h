@@ -1,0 +1,74 @@
+#ifndef TSFM_OBS_TRACE_H_
+#define TSFM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsfm::obs {
+
+/// One completed span. `name` must be a string literal (or otherwise outlive
+/// the process) — spans store the pointer, never copy the text, so recording
+/// is a clock read plus one ring-buffer slot.
+struct TraceEvent {
+  const char* name;
+  int tid;            // small dense id, not the OS thread id
+  int64_t start_ns;   // steady-clock nanoseconds since the trace epoch
+  int64_t dur_ns;
+};
+
+/// True when span recording is active. Reading it is one relaxed atomic
+/// load; with tracing off a TSFM_TRACE_SPAN costs that load and nothing
+/// else (no clock reads, no allocation), which is the "near-zero when
+/// unset" contract the kernels rely on.
+bool TraceEnabled();
+
+/// Turns recording on/off explicitly (tests, the CLI's --trace flag).
+/// Tracing also auto-enables on first query when the TSFM_TRACE environment
+/// variable names an output file; that file is written at process exit.
+void EnableTracing();
+void DisableTracing();
+
+/// Number of events currently buffered (and dropped, once the fixed-size
+/// ring fills — the trace is a window, not an unbounded log).
+int64_t TraceEventCount();
+int64_t TraceDroppedCount();
+
+/// Copy of the buffered events, oldest first.
+std::vector<TraceEvent> TraceSnapshot();
+
+/// Discards all buffered events (dropped counter included).
+void ClearTrace();
+
+/// Writes the buffered events to `path` in chrome://tracing "Trace Event
+/// Format" JSON ({"traceEvents":[...]} with complete "X" events, timestamps
+/// in microseconds). Load via chrome://tracing or https://ui.perfetto.dev.
+/// Returns false if the file cannot be written.
+bool WriteTrace(const std::string& path);
+
+/// RAII span: records [construction, destruction) under `name` when tracing
+/// is enabled at construction time. Use via TSFM_TRACE_SPAN below.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr when tracing was off at construction
+  int64_t start_ns_;
+};
+
+#define TSFM_TRACE_CONCAT_INNER(a, b) a##b
+#define TSFM_TRACE_CONCAT(a, b) TSFM_TRACE_CONCAT_INNER(a, b)
+
+/// Scoped trace span covering the rest of the enclosing block:
+///   TSFM_TRACE_SPAN("tensor.matmul");
+/// `name` must be a string literal.
+#define TSFM_TRACE_SPAN(name) \
+  ::tsfm::obs::TraceSpan TSFM_TRACE_CONCAT(tsfm_trace_span_, __LINE__)(name)
+
+}  // namespace tsfm::obs
+
+#endif  // TSFM_OBS_TRACE_H_

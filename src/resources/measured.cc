@@ -1,33 +1,47 @@
 #include "resources/measured.h"
 
 #include "memory/buffer_pool.h"
+#include "obs/metrics.h"
 
 namespace tsfm::resources {
 
+namespace {
+
+// Reads one named value from a metrics snapshot (0 when absent — e.g. a
+// binary that never allocated a tensor has no pool provider yet).
+int64_t Value(const obs::Snapshot& snap, const char* name) {
+  auto it = snap.find(name);
+  return it == snap.end() ? 0 : static_cast<int64_t>(it->second);
+}
+
+}  // namespace
+
 MeasuredMemory MeasurePeak(const std::function<void()>& fn) {
-  memory::BufferPool& pool = memory::BufferPool::Instance();
-  pool.ResetPeak();
-  const memory::PoolStats before = pool.Snapshot();
+  // All allocator telemetry flows through the obs registry's pool.* values;
+  // the only direct coupling to the memory layer left is making sure the
+  // provider exists even if no tensor has been allocated yet.
+  memory::RegisterPoolMetrics();
+  obs::Registry& registry = obs::Registry::Instance();
+  registry.ResetPeaks();
+  const obs::Snapshot before = registry.TakeSnapshot();
   fn();
-  const memory::PoolStats after = pool.Snapshot();
+  const obs::Snapshot after = registry.TakeSnapshot();
 
   MeasuredMemory m;
-  m.baseline_bytes = static_cast<int64_t>(before.live_bytes);
-  m.peak_bytes = static_cast<int64_t>(after.peak_live_bytes) -
-                 static_cast<int64_t>(before.live_bytes);
+  m.baseline_bytes = Value(before, "pool.live_bytes");
+  m.peak_bytes = Value(after, "pool.peak_live_bytes") - m.baseline_bytes;
   if (m.peak_bytes < 0) m.peak_bytes = 0;
-  m.acquires =
-      static_cast<int64_t>(after.acquires) - static_cast<int64_t>(before.acquires);
-  m.pool_hits = static_cast<int64_t>(after.pool_hits) -
-                static_cast<int64_t>(before.pool_hits);
-  m.heap_allocs = static_cast<int64_t>(after.heap_allocs) -
-                  static_cast<int64_t>(before.heap_allocs);
+  m.acquires = Value(after, "pool.acquires") - Value(before, "pool.acquires");
+  m.pool_hits =
+      Value(after, "pool.pool_hits") - Value(before, "pool.pool_hits");
+  m.heap_allocs =
+      Value(after, "pool.heap_allocs") - Value(before, "pool.heap_allocs");
   return m;
 }
 
 int64_t CurrentLiveBytes() {
-  return static_cast<int64_t>(
-      memory::BufferPool::Instance().Snapshot().live_bytes);
+  memory::RegisterPoolMetrics();
+  return Value(obs::Registry::Instance().TakeSnapshot(), "pool.live_bytes");
 }
 
 }  // namespace tsfm::resources

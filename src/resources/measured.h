@@ -6,9 +6,10 @@
 
 namespace tsfm::resources {
 
-/// Allocator telemetry for one measured workload, from `memory::BufferPool`
-/// counters. All byte figures count allocator capacity (bucket sizes), which
-/// is what would actually have to fit on a device.
+/// Allocator telemetry for one measured workload, read from the obs metrics
+/// registry's `pool.*` values (published by `memory::BufferPool`). All byte
+/// figures count allocator capacity (bucket sizes), which is what would
+/// actually have to fit on a device.
 struct MeasuredMemory {
   /// Capacity live before the workload ran (model weights, cached data, ...).
   int64_t baseline_bytes = 0;

@@ -8,10 +8,30 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tsfm::runtime {
 
 namespace {
+
+// Scheduler counters, visible in obs::Registry snapshots as runtime.*:
+// submitted/executed track queue traffic, queue_high_water the deepest the
+// shared FIFO ever got (a proxy for how far task production outran the
+// workers — this pool has one queue, so there is no steal counter to pair
+// it with).
+struct SchedulerMetrics {
+  obs::Counter* submitted;
+  obs::Counter* executed;
+  obs::Gauge* queue_high_water;
+};
+
+SchedulerMetrics& Metrics() {
+  static SchedulerMetrics m{
+      obs::Registry::Instance().GetCounter("runtime.tasks_submitted"),
+      obs::Registry::Instance().GetCounter("runtime.tasks_executed"),
+      obs::Registry::Instance().GetGauge("runtime.queue_high_water")};
+  return m;
+}
 
 // Set while a thread executes ParallelFor chunks — on pool workers for the
 // whole worker lifetime, on the calling thread only while it participates.
@@ -67,11 +87,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  SchedulerMetrics& m = Metrics();
   {
     std::lock_guard<std::mutex> lock(mu_);
     TSFM_CHECK(!stop_) << "Submit on a stopped ThreadPool";
     queue_.push_back(std::move(task));
+    const double depth = static_cast<double>(queue_.size());
+    if (depth > m.queue_high_water->value()) m.queue_high_water->Set(depth);
   }
+  m.submitted->Add(1);
   cv_.notify_one();
 }
 
@@ -87,6 +111,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    Metrics().executed->Add(1);
   }
 }
 
@@ -173,8 +198,21 @@ void ParallelForChunks(
   if (chunks == 0) return;
   const int64_t g = std::max<int64_t>(1, grain);
 
+  // Dispatch counters: calls that stayed inline vs fanned out, and total
+  // chunks produced. Chunk counts depend only on (begin, end, grain), so
+  // the totals are identical across thread counts — obs_test relies on it.
+  static obs::Counter* const calls =
+      obs::Registry::Instance().GetCounter("runtime.parallel_for.calls");
+  static obs::Counter* const inline_calls =
+      obs::Registry::Instance().GetCounter("runtime.parallel_for.inline");
+  static obs::Counter* const chunk_count =
+      obs::Registry::Instance().GetCounter("runtime.parallel_for.chunks");
+  calls->Add(1);
+  chunk_count->Add(static_cast<uint64_t>(chunks));
+
   ThreadPool* pool = g_in_parallel_region ? nullptr : GetPool();
   if (pool == nullptr || chunks == 1) {
+    inline_calls->Add(1);
     // Serial path: same chunk boundaries, ascending order. Used for 1-thread
     // pools, single-chunk ranges, and nested calls from inside a chunk.
     for (int64_t c = 0; c < chunks; ++c) {

@@ -4,11 +4,35 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace tsfm {
 
 namespace {
+
+// Work counters, one atomic add per *op call* (never per element): FLOPs
+// through the matmul kernel and bytes moved by elementwise/unary kernels.
+// Together they turn a trace or metrics snapshot into a roofline estimate —
+// spans give the seconds, these give the work done in them.
+struct OpMetrics {
+  obs::Counter* matmul_calls;
+  obs::Counter* matmul_flops;
+  obs::Counter* elementwise_calls;
+  obs::Counter* elementwise_bytes;
+  obs::Counter* reduce_calls;
+};
+
+OpMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static OpMetrics m{r.GetCounter("tensor.matmul_calls"),
+                     r.GetCounter("tensor.matmul_flops"),
+                     r.GetCounter("tensor.elementwise_calls"),
+                     r.GetCounter("tensor.elementwise_bytes"),
+                     r.GetCounter("tensor.reduce_calls")};
+  return m;
+}
 
 // Elementwise kernels dispatch through ParallelFor with this grain, so
 // tensors smaller than one chunk run inline with zero scheduling cost.
@@ -75,7 +99,11 @@ std::vector<int64_t> ViewBroadcastStrides(const Tensor& t,
 
 template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  OpMetrics& m = Metrics();
+  m.elementwise_calls->Add(1);
   if (a.shape() == b.shape() && a.is_contiguous() && b.is_contiguous()) {
+    m.elementwise_bytes->Add(
+        static_cast<uint64_t>(3 * a.numel() * sizeof(float)));
     Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
@@ -91,6 +119,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   // Strided/broadcast path: reads go through each input's actual strides, so
   // views (slices, transposes) are consumed in place with no materialize.
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  m.elementwise_bytes->Add(static_cast<uint64_t>(
+      (a.numel() + b.numel() + NumElements(out_shape)) * sizeof(float)));
   Tensor out = Tensor::Empty(out_shape);
   const auto sa = ViewBroadcastStrides(a, out_shape);
   const auto sb = ViewBroadcastStrides(b, out_shape);
@@ -117,6 +147,10 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
 
 template <typename F>
 Tensor UnaryOp(const Tensor& t, F f) {
+  OpMetrics& m = Metrics();
+  m.elementwise_calls->Add(1);
+  m.elementwise_bytes->Add(
+      static_cast<uint64_t>(2 * t.numel() * sizeof(float)));
   Tensor out = Tensor::Empty(t.shape());
   float* po = out.mutable_data();
   if (t.is_contiguous()) {
@@ -348,6 +382,7 @@ void MatMulRowRange(const float* pa, const float* pb, float* po, int64_t r0,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TSFM_TRACE_SPAN("tensor.matmul");
   TSFM_CHECK_GE(a.ndim(), 2);
   TSFM_CHECK_GE(b.ndim(), 2);
   const int64_t m = a.dim(-2);
@@ -372,6 +407,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(m);
   out_shape.push_back(n);
   Tensor out = Tensor::Empty(out_shape);
+
+  OpMetrics& om = Metrics();
+  om.matmul_calls->Add(1);
+  om.matmul_flops->Add(static_cast<uint64_t>(2 * nbatch * m * k * n));
 
   const auto sa = BroadcastStrides(a_batch, batch);
   const auto sb = BroadcastStrides(b_batch, batch);
@@ -493,6 +532,8 @@ float SumAll(const Tensor& t) {
   // where float32 accumulation loses precision for large tensors. Chunked
   // partials combine in index order, so the value is thread-count
   // independent (chunk boundaries depend only on numel).
+  TSFM_TRACE_SPAN("tensor.sum_all");
+  Metrics().reduce_calls->Add(1);
   const Tensor td = t.Contiguous();
   const float* p = td.data();
   const double sum = runtime::ParallelReduce(
@@ -526,6 +567,8 @@ float MinAll(const Tensor& t) {
 }
 
 Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
+  TSFM_TRACE_SPAN("tensor.sum");
+  Metrics().reduce_calls->Add(1);
   axis = NormalizeAxis(axis, t.ndim());
   const Tensor td = t.Contiguous();
   int64_t outer, len, inner;
@@ -606,6 +649,7 @@ std::vector<int64_t> ArgMaxLast(const Tensor& t) {
 }
 
 Tensor Softmax(const Tensor& t) {
+  TSFM_TRACE_SPAN("tensor.softmax");
   TSFM_CHECK_GE(t.ndim(), 1);
   const Tensor td = t.Contiguous();
   const int64_t len = td.dim(-1);
@@ -633,6 +677,7 @@ Tensor Softmax(const Tensor& t) {
 }
 
 Tensor LogSoftmax(const Tensor& t) {
+  TSFM_TRACE_SPAN("tensor.log_softmax");
   TSFM_CHECK_GE(t.ndim(), 1);
   const Tensor td = t.Contiguous();
   const int64_t len = td.dim(-1);
@@ -657,6 +702,8 @@ Tensor LogSoftmax(const Tensor& t) {
 }
 
 float Norm(const Tensor& t) {
+  TSFM_TRACE_SPAN("tensor.norm");
+  Metrics().reduce_calls->Add(1);
   const Tensor td = t.Contiguous();
   const float* p = td.data();
   const double s = runtime::ParallelReduce(

@@ -1,0 +1,304 @@
+// Tests for the observability layer (src/obs): metric registry semantics,
+// histogram percentile math, trace-span recording under ParallelFor, the
+// chrome://tracing JSON export, and the "silent when disabled" contract the
+// hot paths rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "resources/measured.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+double SnapValue(const obs::Snapshot& snap, const std::string& name) {
+  auto it = snap.find(name);
+  return it == snap.end() ? 0.0 : it->second;
+}
+
+TEST(MetricsRegistry, CounterIsStableAndAccumulates) {
+  auto& registry = obs::Registry::Instance();
+  obs::Counter* c = registry.GetCounter("obs_test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(registry.GetCounter("obs_test.counter"), c);
+  const uint64_t before = c->value();
+  c->Add(3);
+  c->Add();
+  EXPECT_EQ(c->value(), before + 4);
+  EXPECT_GE(SnapValue(registry.TakeSnapshot(), "obs_test.counter"),
+            static_cast<double>(before + 4));
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  obs::Gauge* g = obs::Registry::Instance().GetGauge("obs_test.gauge");
+  g->Set(2.5);
+  g->Set(-7.0);
+  EXPECT_DOUBLE_EQ(g->value(), -7.0);
+}
+
+TEST(MetricsRegistryDeathTest, TypeMismatchIsFatal) {
+  obs::Registry::Instance().GetCounter("obs_test.typed_as_counter");
+  EXPECT_DEATH(
+      obs::Registry::Instance().GetGauge("obs_test.typed_as_counter"),
+      "already registered");
+  EXPECT_DEATH(
+      obs::Registry::Instance().GetHistogram("obs_test.typed_as_counter"),
+      "already registered");
+}
+
+TEST(Histogram, CountSumExtremaExact) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("obs_test.hist_exact");
+  double sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(static_cast<double>(i));
+    sum += static_cast<double>(i);
+  }
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(h->sum(), sum);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 100.0);
+}
+
+TEST(Histogram, PercentileWithinBucketInterpolation) {
+  // All observations land in the [1, 2) bucket, so the estimate reduces to
+  // pure linear interpolation between the observed extrema.
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("obs_test.hist_interp");
+  for (int i = 0; i < 1000; ++i) {
+    h->Observe(1.0 + static_cast<double>(i) / 1000.0);
+  }
+  const double p50 = h->Percentile(0.5);
+  EXPECT_GT(p50, 1.4);
+  EXPECT_LT(p50, 1.6);
+  EXPECT_LE(h->Percentile(0.5), h->Percentile(0.9));
+  EXPECT_LE(h->Percentile(0.9), h->Percentile(0.99));
+  EXPECT_LE(h->Percentile(0.99), h->max());
+}
+
+TEST(Histogram, PercentileAcrossBuckets) {
+  // 50 observations at ~1 and 50 at ~1024: the median straddles the gap, so
+  // p25 must sit in the low bucket and p75 in the high one — the cumulative
+  // walk across buckets, not just in-bucket interpolation.
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("obs_test.hist_buckets");
+  for (int i = 0; i < 50; ++i) {
+    h->Observe(1.25);
+    h->Observe(1024.5);
+  }
+  EXPECT_LT(h->Percentile(0.25), 2.0);
+  EXPECT_GT(h->Percentile(0.75), 1024.0);
+  EXPECT_LT(h->Percentile(0.75), 2048.0);
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(obs::Histogram::BucketLowerBound(-obs::Histogram::kMinExp),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      obs::Histogram::BucketLowerBound(-obs::Histogram::kMinExp + 10),
+      1024.0);
+}
+
+// Counter totals produced by instrumented kernels must not depend on the
+// thread count: FLOP/byte counters are computed from shapes, and ParallelFor
+// chunk counts depend only on (begin, end, grain) — the same determinism
+// contract the numerics obey.
+TEST(Metrics, CounterTotalsThreadCountInvariant) {
+  auto& registry = obs::Registry::Instance();
+  const int ambient = runtime::NumThreads();
+  const char* const names[] = {
+      "tensor.matmul_flops", "tensor.matmul_calls", "tensor.elementwise_bytes",
+      "tensor.elementwise_calls", "runtime.parallel_for.chunks"};
+
+  auto run_workload_deltas = [&](int threads) {
+    runtime::SetNumThreads(threads);
+    const obs::Snapshot before = registry.TakeSnapshot();
+    Rng rng(42);
+    Tensor a = Tensor::RandN({64, 96}, &rng);
+    Tensor b = Tensor::RandN({96, 64}, &rng);
+    Tensor c = MatMul(a, b);
+    Tensor d = Add(c, c);
+    (void)SumAll(d);
+    const obs::Snapshot after = registry.TakeSnapshot();
+    std::vector<double> deltas;
+    for (const char* name : names) {
+      deltas.push_back(SnapValue(after, name) - SnapValue(before, name));
+    }
+    return deltas;
+  };
+
+  const std::vector<double> serial = run_workload_deltas(1);
+  const std::vector<double> parallel = run_workload_deltas(4);
+  runtime::SetNumThreads(ambient);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << names[i];
+  }
+  // Sanity: the workload actually counted something.
+  EXPECT_EQ(serial[0], 2.0 * 64 * 96 * 64);
+  EXPECT_GE(serial[1], 1.0);
+}
+
+TEST(Trace, SpanNestingAndOrderingUnderParallelFor) {
+  const int ambient = runtime::NumThreads();
+  auto run_spans = [&](int threads) {
+    runtime::SetNumThreads(threads);
+    obs::EnableTracing();
+    obs::ClearTrace();
+    {
+      TSFM_TRACE_SPAN("obs_test.outer");
+      runtime::ParallelFor(0, 64, /*grain=*/8, [](int64_t lo, int64_t hi) {
+        TSFM_TRACE_SPAN("obs_test.chunk");
+        volatile int64_t sink = 0;
+        for (int64_t i = lo; i < hi; ++i) sink = sink + i;
+      });
+    }
+    obs::DisableTracing();
+    return obs::TraceSnapshot();
+  };
+
+  const auto serial = run_spans(1);
+  const auto parallel = run_spans(4);
+  runtime::SetNumThreads(ambient);
+
+  // 64/8 = 8 chunks, each traced exactly once, plus the outer span —
+  // regardless of how many workers executed them.
+  ASSERT_EQ(serial.size(), 9u);
+  ASSERT_EQ(parallel.size(), serial.size());
+
+  for (const auto& events : {serial, parallel}) {
+    const obs::TraceEvent* outer = nullptr;
+    int chunks = 0;
+    for (const auto& e : events) {
+      if (std::string(e.name) == "obs_test.outer") outer = &e;
+      if (std::string(e.name) == "obs_test.chunk") ++chunks;
+    }
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(chunks, 8);
+    // Nesting: every chunk span lies inside the outer span's interval.
+    for (const auto& e : events) {
+      if (std::string(e.name) != "obs_test.chunk") continue;
+      EXPECT_GE(e.start_ns, outer->start_ns);
+      EXPECT_LE(e.start_ns + e.dur_ns, outer->start_ns + outer->dur_ns);
+      EXPECT_GE(e.dur_ns, 0);
+    }
+    // Ordering: the outer span closes last, so it is the newest event.
+    EXPECT_STREQ(events.back().name, "obs_test.outer");
+  }
+}
+
+TEST(Trace, WriteTraceEmitsWellFormedChromeJson) {
+  obs::EnableTracing();
+  obs::ClearTrace();
+  {
+    TSFM_TRACE_SPAN("obs_test.json_outer");
+    TSFM_TRACE_SPAN("obs_test.json_inner");
+  }
+  obs::DisableTracing();
+
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(obs::WriteTrace(path));
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string json = buf.str();
+
+  // Structural checks: the chrome://tracing envelope, balanced delimiters,
+  // one "X" record per span, no trailing comma before the closing bracket.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.json_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.json_inner\""), std::string::npos);
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+  int64_t braces = 0, brackets = 0;
+  size_t ph_records = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '{') ++braces;
+    if (json[i] == '}') --braces;
+    if (json[i] == '[') ++brackets;
+    if (json[i] == ']') --brackets;
+  }
+  for (size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++ph_records;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(ph_records, 2u);
+  std::remove(path.c_str());
+}
+
+// The negative contract: with tracing disabled, spans record nothing at all
+// — no events, no drops — so kernels can carry TSFM_TRACE_SPAN
+// unconditionally.
+TEST(Trace, DisabledSpansAreSilent) {
+  obs::DisableTracing();
+  obs::ClearTrace();
+  const int64_t dropped_before = obs::TraceDroppedCount();
+  for (int i = 0; i < 1000; ++i) {
+    TSFM_TRACE_SPAN("obs_test.should_not_record");
+  }
+  Rng rng(7);
+  Tensor a = Tensor::RandN({16, 16}, &rng);
+  (void)MatMul(a, a);  // instrumented kernels, tracing off
+  EXPECT_EQ(obs::TraceEventCount(), 0);
+  EXPECT_EQ(obs::TraceDroppedCount(), dropped_before);
+}
+
+TEST(Trace, EnableDisableRoundTrip) {
+  obs::DisableTracing();
+  EXPECT_FALSE(obs::TraceEnabled());
+  obs::EnableTracing();
+  EXPECT_TRUE(obs::TraceEnabled());
+  obs::ClearTrace();
+  { TSFM_TRACE_SPAN("obs_test.roundtrip"); }
+  EXPECT_EQ(obs::TraceEventCount(), 1);
+  obs::DisableTracing();
+  obs::ClearTrace();
+}
+
+// resources::MeasurePeak now reads pool.* through the registry; the numbers
+// must still describe the measured workload.
+TEST(Metrics, MeasurePeakReadsPoolMetricsFromRegistry) {
+  const auto snap = obs::Registry::Instance().TakeSnapshot();
+  ASSERT_NE(snap.find("pool.acquires"), snap.end())
+      << "pool metrics provider not registered";
+
+  const resources::MeasuredMemory m = resources::MeasurePeak([] {
+    Rng rng(3);
+    Tensor t = Tensor::RandN({256, 256}, &rng);
+    (void)SumAll(t);
+  });
+  EXPECT_GT(m.acquires, 0);
+  // 256*256 floats = 256 KiB; the allocator must have held at least that.
+  EXPECT_GE(m.peak_bytes, 256 * 1024);
+}
+
+TEST(Metrics, RenderTextListsSortedNames) {
+  auto& registry = obs::Registry::Instance();
+  registry.GetCounter("obs_test.render_a")->Add(1);
+  registry.GetCounter("obs_test.render_b")->Add(2);
+  const std::string text = registry.RenderText();
+  const size_t pos_a = text.find("obs_test.render_a 1");
+  const size_t pos_b = text.find("obs_test.render_b 2");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+}
+
+}  // namespace
+}  // namespace tsfm

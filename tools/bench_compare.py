@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare two Google Benchmark JSON files and fail on perf regressions.
+
+Used by the CI `bench-regression` job: the baseline is the committed
+`bench_results/BENCH_baseline.json` from the PR's base ref, the candidate is
+the JSON the job just produced. Two kinds of gates:
+
+  * real_time on watched benchmarks must not regress more than
+    --max-regression (fractional, default 0.15);
+  * the pooled-allocator benchmark (BM_FineTuneInnerLoopAlloc/1) must keep
+    heap_allocs_per_iter at 0 — the BufferPool's whole point.
+
+Benchmarks present in only one file are reported but never fail the gate, so
+adding or renaming a benchmark does not require touching the baseline in the
+same PR. Exit status: 0 = OK, 1 = regression, 2 = bad input.
+
+Example:
+  python3 tools/bench_compare.py bench_results/BENCH_baseline.json \
+      bench_results/BENCH_micro_kernels.json --max-regression 0.15
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmarks whose real_time regressions gate the PR. Prefix match on the
+# benchmark name (covers every Arg variant).
+WATCHED_PREFIXES = (
+    "BM_MatMulSquare/",
+    "BM_FineTuneInnerLoopAlloc/",
+)
+
+# name -> (counter, max allowed value) hard invariants on the candidate run.
+COUNTER_LIMITS = {
+    "BM_FineTuneInnerLoopAlloc/1": ("heap_allocs_per_iter", 0.0),
+}
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    if not out:
+        print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def is_watched(name):
+    return any(name.startswith(p) or name == p.rstrip("/")
+               for p in WATCHED_PREFIXES)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="max allowed fractional real_time increase on "
+                             "watched benchmarks (default 0.15)")
+    parser.add_argument("--all", action="store_true",
+                        help="gate every common benchmark, not just the "
+                             "watched list")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+
+    failures = []
+    rows = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in cand:
+            rows.append((name, "only in baseline", ""))
+            continue
+        if name not in base:
+            rows.append((name, "only in candidate", ""))
+            continue
+        b, c = base[name], cand[name]
+        bt, ct = b.get("real_time"), c.get("real_time")
+        if not bt or not ct:
+            continue
+        ratio = ct / bt
+        gated = args.all or is_watched(name)
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: real_time {bt:.1f} -> {ct:.1f} "
+                f"{b.get('time_unit', 'ns')} ({(ratio - 1.0) * 100:+.1f}%, "
+                f"limit {args.max_regression * 100:.0f}%)")
+        rows.append((name, f"{(ratio - 1.0) * 100:+6.1f}%",
+                     verdict if gated else "untracked"))
+
+    for name, (counter, limit) in COUNTER_LIMITS.items():
+        if name not in cand:
+            rows.append((name, "missing", "counter not checked"))
+            continue
+        value = cand[name].get(counter)
+        if value is None:
+            failures.append(f"{name}: counter {counter} missing")
+        elif value > limit:
+            failures.append(
+                f"{name}: {counter} = {value} (limit {limit:g})")
+        else:
+            rows.append((name, f"{counter}={value:g}", "ok"))
+
+    width = max(len(r[0]) for r in rows) if rows else 0
+    for name, delta, verdict in rows:
+        print(f"{name:<{width}}  {delta:>10}  {verdict}")
+
+    if failures:
+        print("\nbench_compare: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,12 @@
 //                 [--adapter PCA|SVD|Rand_Proj|VAR|lcomb|lcomb_top_k|LDA|none]
 //                 [--dprime 5] [--checkpoint path]
 //       Fine-tune on your own CSV data and report accuracy.
+//
+// Observability flags (valid with every command):
+//   --trace out.json   record trace spans and write chrome://tracing JSON
+//                      (same effect as TSFM_TRACE=out.json)
+//   --metrics          dump the metrics registry to stderr on exit
+//                      (TSFM_METRICS=stderr|stdout|<path> does the same)
 
 #include <cstdio>
 #include <cstring>
@@ -20,6 +26,8 @@
 #include "data/csv.h"
 #include "data/uea_like.h"
 #include "finetune/classifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resources/cost_model.h"
 
 namespace tsfm::cli {
@@ -29,13 +37,17 @@ using ArgMap = std::map<std::string, std::string>;
 
 ArgMap ParseArgs(int argc, char** argv, int start) {
   ArgMap args;
-  for (int i = start; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    args[argv[i] + 2] = argv[i + 1];
-  }
-  // Flags without values.
   for (int i = start; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) args["full"] = "1";
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    // Valueless flags may appear anywhere without shifting later pairs.
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args["full"] = "1";
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      args["metrics"] = "stderr";
+    } else if (i + 1 < argc) {
+      args[argv[i] + 2] = argv[i + 1];
+      ++i;
+    }
   }
   return args;
 }
@@ -199,6 +211,7 @@ int CmdClassify(const ArgMap& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tsfm <datasets|generate|estimate|classify> [--args]\n"
+               "       [--trace out.json] [--metrics]\n"
                "see the header of tools/tsfm_cli.cc for details\n");
   return 1;
 }
@@ -207,11 +220,39 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const ArgMap args = ParseArgs(argc, argv, 2);
-  if (command == "datasets") return CmdDatasets();
-  if (command == "generate") return CmdGenerate(args);
-  if (command == "estimate") return CmdEstimate(args);
-  if (command == "classify") return CmdClassify(args);
-  return Usage();
+
+  const std::string trace_path = GetOr(args, "trace", "");
+  if (!trace_path.empty()) obs::EnableTracing();
+
+  int rc;
+  if (command == "datasets") {
+    rc = CmdDatasets();
+  } else if (command == "generate") {
+    rc = CmdGenerate(args);
+  } else if (command == "estimate") {
+    rc = CmdEstimate(args);
+  } else if (command == "classify") {
+    rc = CmdClassify(args);
+  } else {
+    return Usage();
+  }
+
+  if (!trace_path.empty()) {
+    if (obs::WriteTrace(trace_path)) {
+      std::fprintf(stderr, "trace: wrote %lld spans to %s\n",
+                   static_cast<long long>(obs::TraceEventCount()),
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+    }
+  }
+  const std::string metrics_dest = GetOr(args, "metrics", "");
+  if (!metrics_dest.empty()) {
+    const std::string text = obs::Registry::Instance().RenderText();
+    std::fputs(text.c_str(),
+               metrics_dest == "stdout" ? stdout : stderr);
+  }
+  return rc;
 }
 
 }  // namespace
