@@ -1,12 +1,17 @@
 #include "experiments/runner.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/budget.h"
+#include "obs/run_report.h"
+#include "resources/measured.h"
 
 namespace tsfm::experiments {
 
@@ -207,11 +212,90 @@ Result<RunRecord> ExperimentRunner::Run(const RunSpec& spec) {
     ft.head_epochs = 30;
     ft.joint_epochs = 14;
   }
-  TSFM_ASSIGN_OR_RETURN(
-      finetune::FineTuneResult measured,
-      finetune::FineTune(model.get(), adapter.get(), pair->train, pair->test,
-                         ft));
-  record.measured = measured;
+
+  // When TSFM_RUN_REPORT names a directory, every measured run of a sweep
+  // leaves a manifest there: per-epoch timeline, allocator footprint, the
+  // paper-scale prediction already computed above, and the budget verdict.
+  const std::string report_dir = obs::RunReportDirFromEnv();
+  obs::RunReport report;
+  if (!report_dir.empty()) {
+    report.command = "experiment";
+    report.model = models::ModelKindName(spec.model_kind);
+    report.adapter = record.method;
+    report.strategy = finetune::StrategyName(spec.strategy);
+    report.dprime = adapter != nullptr
+                        ? std::min(spec.adapter_options.out_channels,
+                                   pair->train.channels())
+                        : 0;
+    report.options = {
+        {"dataset", "\"" + spec.dataset + "\""},
+        {"head_epochs", std::to_string(ft.head_epochs)},
+        {"joint_epochs", std::to_string(ft.joint_epochs)},
+        {"batch_size", std::to_string(ft.batch_size)},
+        {"seed", std::to_string(static_cast<int64_t>(ft.seed))},
+    };
+    ft.on_epoch = [&report](const finetune::EpochProgress& p) {
+      obs::RunReportEpoch e;
+      e.epoch = p.epoch;
+      e.phase = p.phase;
+      e.loss = p.loss;
+      e.accuracy = p.accuracy;
+      e.seconds = p.seconds;
+      e.pool_live_bytes = static_cast<double>(p.pool_live_bytes);
+      report.epochs.push_back(std::move(e));
+    };
+  }
+
+  Result<finetune::FineTuneResult> measured =
+      Status::Internal("run did not start");
+  const resources::MeasuredMemory mem = resources::MeasurePeak([&] {
+    measured = finetune::FineTune(model.get(), adapter.get(), pair->train,
+                                  pair->test, ft);
+  });
+  TSFM_RETURN_IF_ERROR(measured.status());
+  record.measured = *measured;
+
+  if (!report_dir.empty()) {
+    report.mem_baseline_bytes = static_cast<double>(mem.baseline_bytes);
+    report.mem_peak_bytes = static_cast<double>(mem.peak_bytes);
+    report.mem_acquires = static_cast<double>(mem.acquires);
+    report.mem_pool_hits = static_cast<double>(mem.pool_hits);
+    report.mem_heap_allocs = static_cast<double>(mem.heap_allocs);
+    report.train_accuracy = measured->train_accuracy;
+    report.test_accuracy = measured->test_accuracy;
+    report.final_loss = measured->final_loss;
+    report.adapter_fit_seconds = measured->adapter_fit_seconds;
+    report.train_seconds = measured->train_seconds;
+    report.total_seconds = measured->total_seconds;
+    report.has_estimate = true;
+    report.estimate_model =
+        spec.model_kind == models::ModelKind::kMoment
+            ? resources::MomentPaperSpec().name
+            : resources::VitPaperSpec().name;
+    report.estimate_regime = resources::TrainRegimeName(RegimeFor(spec));
+    report.estimate_verdict =
+        resources::VerdictString(record.estimate.verdict);
+    report.estimate_channels = report.dprime > 0 ? report.dprime
+                                                 : pair->train.channels();
+    report.estimate_values = {
+        {"param_bytes", record.estimate.param_bytes},
+        {"optimizer_bytes", record.estimate.optimizer_bytes},
+        {"activation_bytes", record.estimate.activation_bytes},
+        {"attention_bytes", record.estimate.attention_bytes},
+        {"peak_memory_bytes", record.estimate.peak_memory_bytes},
+        {"total_flops", record.estimate.total_flops},
+        {"total_seconds", record.estimate.total_seconds},
+    };
+    report.budget = obs::JudgeBudget(
+        obs::CurrentBudget(),
+        static_cast<double>(mem.baseline_bytes + mem.peak_bytes),
+        measured->total_seconds);
+    const Result<std::string> path = obs::WriteRunReport(report, report_dir);
+    if (!path.ok()) {
+      std::fprintf(stderr, "run report not written: %s\n",
+                   path.status().ToString().c_str());
+    }
+  }
   return record;
 }
 

@@ -1,13 +1,72 @@
 #include "finetune/classifier.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "core/io_util.h"
 #include "nn/serialize.h"
+#include "obs/budget.h"
+#include "resources/cost_model.h"
+#include "resources/measured.h"
 #include "tensor/ops.h"
 
 namespace tsfm::finetune {
+
+namespace {
+
+// JSON literals for RunReport::options (the report writer emits values
+// verbatim, so numbers stay typed without a JSON library).
+std::string JsonInt(int64_t v) { return std::to_string(v); }
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+// The paper-scale prediction for the configuration this classifier just ran:
+// same model family, same regime, channels clamped to the adapter's D'.
+void FillEstimate(const ClassifierConfig& config, const core::Adapter* adapter,
+                  const data::TimeSeriesDataset& train,
+                  const data::TimeSeriesDataset& eval_split,
+                  obs::RunReport* report) {
+  const resources::PaperModelSpec spec =
+      config.model_kind == models::ModelKind::kMoment
+          ? resources::MomentPaperSpec()
+          : resources::VitPaperSpec();
+  resources::TrainRegime regime = resources::TrainRegime::kEmbedOnceHeadOnly;
+  if (config.finetune.strategy == Strategy::kFullFineTune) {
+    regime = resources::TrainRegime::kFullFineTune;
+  } else if (adapter != nullptr && adapter->IsLearnable()) {
+    regime = resources::TrainRegime::kAdapterPlusHeadLearnable;
+  }
+  int64_t channels = train.channels();
+  if (adapter != nullptr) {
+    channels = std::min(channels, config.adapter_options.out_channels);
+  }
+  const resources::Workload workload{train.size(), eval_split.size(),
+                                     channels};
+  const resources::ResourceEstimate est = resources::EstimateRun(
+      spec, resources::V100Spec(), workload, regime);
+  report->has_estimate = true;
+  report->estimate_model = spec.name;
+  report->estimate_regime = resources::TrainRegimeName(regime);
+  report->estimate_verdict = resources::VerdictString(est.verdict);
+  report->estimate_channels = channels;
+  report->estimate_values = {
+      {"param_bytes", est.param_bytes},
+      {"optimizer_bytes", est.optimizer_bytes},
+      {"activation_bytes", est.activation_bytes},
+      {"attention_bytes", est.attention_bytes},
+      {"peak_memory_bytes", est.peak_memory_bytes},
+      {"total_flops", est.total_flops},
+      {"total_seconds", est.total_seconds},
+  };
+}
+
+}  // namespace
 
 Result<TsfmClassifier> TsfmClassifier::Create(const ClassifierConfig& config) {
   TsfmClassifier classifier;
@@ -47,10 +106,81 @@ Status TsfmClassifier::Fit(const data::TimeSeriesDataset& train,
   // construction.
   const data::TimeSeriesDataset& eval_split =
       valid != nullptr ? *valid : train;
-  auto result = FineTuneWithHead(model_.get(), adapter_.get(), head_.get(),
-                                 train, eval_split, config_.finetune);
+
+  // Run-report assembly: chain a timeline collector onto the caller's
+  // epoch callback and measure the allocator footprint around the run.
+  obs::RunReport report;
+  report.command = "classify";
+  report.model = models::ModelKindName(config_.model_kind);
+  report.adapter = config_.adapter.has_value()
+                       ? core::AdapterKindName(*config_.adapter)
+                       : "none";
+  report.strategy = StrategyName(config_.finetune.strategy);
+  report.dprime = config_.adapter.has_value()
+                      ? config_.adapter_options.out_channels
+                      : 0;
+  const FineTuneOptions& ft = config_.finetune;
+  report.options = {
+      {"head_epochs", JsonInt(ft.head_epochs)},
+      {"joint_epochs", JsonInt(ft.joint_epochs)},
+      {"batch_size", JsonInt(ft.batch_size)},
+      {"head_lr", JsonDouble(ft.head_lr)},
+      {"joint_lr", JsonDouble(ft.joint_lr)},
+      {"weight_decay", JsonDouble(ft.weight_decay)},
+      {"seed", JsonInt(static_cast<int64_t>(ft.seed))},
+      {"normalize", ft.normalize ? "true" : "false"},
+  };
+
+  FineTuneOptions run_options = config_.finetune;
+  const auto user_on_epoch = run_options.on_epoch;
+  run_options.on_epoch = [&report, &user_on_epoch](const EpochProgress& p) {
+    obs::RunReportEpoch e;
+    e.epoch = p.epoch;
+    e.phase = p.phase;
+    e.loss = p.loss;
+    e.accuracy = p.accuracy;
+    e.seconds = p.seconds;
+    e.pool_live_bytes = static_cast<double>(p.pool_live_bytes);
+    report.epochs.push_back(std::move(e));
+    if (user_on_epoch) user_on_epoch(p);
+  };
+
+  Result<FineTuneResult> result = Status::Internal("fit did not run");
+  const resources::MeasuredMemory mem = resources::MeasurePeak([&] {
+    result = FineTuneWithHead(model_.get(), adapter_.get(), head_.get(),
+                              train, eval_split, run_options);
+  });
   TSFM_RETURN_IF_ERROR(result.status());
   last_result_ = *result;
+
+  report.mem_baseline_bytes = static_cast<double>(mem.baseline_bytes);
+  report.mem_peak_bytes = static_cast<double>(mem.peak_bytes);
+  report.mem_acquires = static_cast<double>(mem.acquires);
+  report.mem_pool_hits = static_cast<double>(mem.pool_hits);
+  report.mem_heap_allocs = static_cast<double>(mem.heap_allocs);
+  report.train_accuracy = last_result_.train_accuracy;
+  report.test_accuracy = last_result_.test_accuracy;
+  report.final_loss = last_result_.final_loss;
+  report.adapter_fit_seconds = last_result_.adapter_fit_seconds;
+  report.train_seconds = last_result_.train_seconds;
+  report.total_seconds = last_result_.total_seconds;
+  FillEstimate(config_, adapter_.get(), train, eval_split, &report);
+  // Device-budget semantics: what had to fit is baseline (weights, cached
+  // data) plus the run's peak on top of it.
+  report.budget = obs::JudgeBudget(
+      obs::CurrentBudget(),
+      static_cast<double>(mem.baseline_bytes + mem.peak_bytes),
+      last_result_.total_seconds);
+  last_report_ = std::move(report);
+
+  last_report_path_.clear();
+  const std::string report_dir = !config_.report_dir.empty()
+                                     ? config_.report_dir
+                                     : obs::RunReportDirFromEnv();
+  if (!report_dir.empty()) {
+    TSFM_ASSIGN_OR_RETURN(last_report_path_,
+                          obs::WriteRunReport(last_report_, report_dir));
+  }
   fitted_ = true;
   return Status::OK();
 }

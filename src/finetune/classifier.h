@@ -10,6 +10,7 @@
 #include "finetune/finetune.h"
 #include "models/head.h"
 #include "models/pretrained.h"
+#include "obs/run_report.h"
 
 namespace tsfm::finetune {
 
@@ -24,6 +25,10 @@ struct ClassifierConfig {
   std::optional<core::AdapterKind> adapter = core::AdapterKind::kPca;
   core::AdapterOptions adapter_options;
   FineTuneOptions finetune;
+  /// Directory for the run-report manifest written after Fit. Empty = fall
+  /// back to TSFM_RUN_REPORT; when that is unset too, no file is written
+  /// (the report is still assembled and available via `last_report()`).
+  std::string report_dir;
 
   ClassifierConfig() : model_config(models::MomentSmallConfig()) {}
 };
@@ -59,6 +64,12 @@ class TsfmClassifier {
   bool fitted() const { return fitted_; }
   /// Metrics of the last Fit call. Requires fitted().
   const FineTuneResult& last_fit_result() const { return last_result_; }
+  /// Full run-report manifest of the last Fit call (timeline, measured
+  /// memory, paper-scale estimate, budget verdict). Requires fitted().
+  const obs::RunReport& last_report() const { return last_report_; }
+  /// Path the last report was written to; empty when no report directory
+  /// was configured (config or TSFM_RUN_REPORT).
+  const std::string& last_report_path() const { return last_report_path_; }
   const models::FoundationModel& model() const { return *model_; }
   /// Null if the pipeline was configured without an adapter.
   const core::Adapter* adapter() const { return adapter_.get(); }
@@ -86,6 +97,8 @@ class TsfmClassifier {
   data::ChannelStats stats_;
   bool fitted_ = false;
   FineTuneResult last_result_;
+  obs::RunReport last_report_;
+  std::string last_report_path_;
 };
 
 }  // namespace tsfm::finetune

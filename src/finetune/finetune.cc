@@ -3,9 +3,11 @@
 #include <chrono>
 #include <memory>
 
+#include "obs/budget.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/optim.h"
+#include "resources/measured.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -57,11 +59,46 @@ void RecordEpoch(double seconds, double mean_loss, int64_t samples) {
 // Argmax predictions of a logits matrix (N, C).
 std::vector<int64_t> Predict(const Tensor& logits) { return ArgMaxLast(logits); }
 
+// Correct predictions in one training batch (for the per-epoch timeline;
+// the argmax rides on logits that are already computed).
+int64_t CountCorrect(const Tensor& logits, const std::vector<int64_t>& yb) {
+  const std::vector<int64_t> pred = ArgMaxLast(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size() && i < yb.size(); ++i) {
+    if (pred[i] == yb[i]) ++correct;
+  }
+  return correct;
+}
+
+// Shared per-epoch bookkeeping: publishes the metrics, delivers the
+// progress callback (when installed), and polls the resource budget.
+Status FinishEpoch(const FineTuneOptions& options, const char* phase,
+                   int64_t epoch, int64_t total_epochs, double seconds,
+                   double mean_loss, int64_t correct, int64_t samples) {
+  RecordEpoch(seconds, mean_loss, samples);
+  if (options.on_epoch) {
+    EpochProgress progress;
+    progress.epoch = epoch;
+    progress.total_epochs = total_epochs;
+    progress.phase = phase;
+    progress.loss = mean_loss;
+    progress.accuracy =
+        samples > 0 ? static_cast<double>(correct) / samples : 0.0;
+    progress.seconds = seconds;
+    progress.pool_live_bytes = resources::CurrentLiveBytes();
+    progress.samples_per_sec =
+        seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
+    options.on_epoch(progress);
+  }
+  return obs::CheckBudget(phase[0] == 'h' ? "finetune.head_epoch"
+                                          : "finetune.joint_epoch");
+}
+
 // Trains a linear head on cached embeddings; returns final mean loss.
-double TrainHead(models::ClassificationHead* head,
-                 const Tensor& embeddings,  // (N, E)
-                 const std::vector<int64_t>& labels,
-                 const FineTuneOptions& options, Rng* rng) {
+Result<double> TrainHead(models::ClassificationHead* head,
+                         const Tensor& embeddings,  // (N, E)
+                         const std::vector<int64_t>& labels,
+                         const FineTuneOptions& options, Rng* rng) {
   optim::AdamW opt(head->Parameters(), options.head_lr, 0.9f, 0.999f, 1e-8f,
                    options.weight_decay);
   double last = 0.0;
@@ -71,6 +108,7 @@ double TrainHead(models::ClassificationHead* head,
     auto batches =
         data::MakeBatches(embeddings.dim(0), options.batch_size, rng);
     double loss_sum = 0.0;
+    int64_t correct = 0;
     for (const auto& idx : batches) {
       Tensor xb = TakeRows(embeddings, idx);
       std::vector<int64_t> yb;
@@ -83,10 +121,14 @@ double TrainHead(models::ClassificationHead* head,
       opt.ZeroGrad();
       head->ZeroGrad();
       loss_sum += loss.value()[0];
+      if (options.on_epoch) correct += CountCorrect(logits.value(), yb);
     }
     Metrics().steps->Add(batches.size());
     last = loss_sum / static_cast<double>(batches.size());
-    RecordEpoch(SecondsSince(t_epoch), last, embeddings.dim(0));
+    TSFM_RETURN_IF_ERROR(FinishEpoch(options, "head", epoch,
+                                     options.head_epochs,
+                                     SecondsSince(t_epoch), last, correct,
+                                     embeddings.dim(0)));
   }
   return last;
 }
@@ -132,6 +174,11 @@ Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
     Rng rng(seed);
     nn::ForwardContext ctx{/*training=*/false, &rng};
     for (int64_t b = lo; b < hi; ++b) {
+      // Budget poll per batch: a long embed pass over a large dataset must
+      // abort at the cap, not after it. A tripped budget abandons the
+      // remaining batches; the caller sees it via CheckBudget and discards
+      // the partial result.
+      if (!obs::CheckBudget("finetune.embed_dataset").ok()) return;
       const int64_t start = b * bs;
       const int64_t end = std::min(n, start + bs);
       Tensor xb = Slice(x, 0, start, end);
@@ -139,6 +186,7 @@ Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
       chunks[static_cast<size_t>(b)] = emb.value();
     }
   });
+  if (obs::BudgetTripped()) return Tensor();
   return Concat(chunks, 0);
 }
 
@@ -169,6 +217,9 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   }
   TSFM_CHECK(head_ptr != nullptr);
   models::ClassificationHead& head = *head_ptr;
+  // The budget window covers this run only: clock restarted, allocator peak
+  // rebased to the current live footprint (weights still count).
+  obs::BeginBudgetRun();
   const auto t_start = Clock::now();
   FineTuneResult result;
 
@@ -208,9 +259,13 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
     }
     Tensor train_emb = EmbedDataset(*model, train_x, options.batch_size,
                                     options.seed + 1);
+    TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
     Tensor test_emb =
         EmbedDataset(*model, test_x, options.batch_size, options.seed + 2);
-    result.final_loss = TrainHead(&head, train_emb, train_n.y, options, &rng);
+    TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
+    TSFM_ASSIGN_OR_RETURN(
+        result.final_loss,
+        TrainHead(&head, train_emb, train_n.y, options, &rng));
     result.train_seconds = SecondsSince(t_train);
     result.train_accuracy = EvaluateOnEmbeddings(head, train_emb, train_n);
     result.test_accuracy = EvaluateOnEmbeddings(head, test_emb, test_n);
@@ -247,6 +302,7 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
     auto batches =
         data::MakeBatches(train_n.size(), options.batch_size, &rng);
     double loss_sum = 0.0;
+    int64_t correct = 0;
     for (const auto& idx : batches) {
       Tensor xb = TakeRows(train_n.x, idx);
       std::vector<int64_t> yb;
@@ -268,10 +324,14 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
       model->ZeroGrad();
       head.ZeroGrad();
       loss_sum += loss.value()[0];
+      if (options.on_epoch) correct += CountCorrect(logits.value(), yb);
     }
     Metrics().steps->Add(batches.size());
     last = loss_sum / static_cast<double>(batches.size());
-    RecordEpoch(SecondsSince(t_epoch), last, train_n.size());
+    TSFM_RETURN_IF_ERROR(FinishEpoch(options, "joint", epoch,
+                                     options.joint_epochs,
+                                     SecondsSince(t_epoch), last, correct,
+                                     train_n.size()));
   }
   result.final_loss = last;
   result.train_seconds = SecondsSince(t_train);

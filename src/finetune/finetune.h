@@ -2,6 +2,7 @@
 #define TSFM_FINETUNE_FINETUNE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "core/adapter.h"
@@ -22,6 +23,20 @@ enum class Strategy { kHeadOnly, kAdapterPlusHead, kFullFineTune };
 
 const char* StrategyName(Strategy strategy);
 
+/// Snapshot of one finished training epoch, delivered to
+/// `FineTuneOptions::on_epoch`. Feeds the per-epoch timeline of run reports
+/// (obs::RunReport) and any caller-side progress display.
+struct EpochProgress {
+  int64_t epoch = 0;        // index within its phase
+  int64_t total_epochs = 0; // epochs this phase will run
+  const char* phase = "";   // "head" or "joint"
+  double loss = 0;          // mean training loss over the epoch
+  double accuracy = 0;      // training accuracy over the epoch's batches
+  double seconds = 0;       // wall-clock of the epoch
+  int64_t pool_live_bytes = 0;  // allocator capacity live at epoch end
+  double samples_per_sec = 0;
+};
+
 /// Hyper-parameters of one fine-tuning run.
 struct FineTuneOptions {
   Strategy strategy = Strategy::kAdapterPlusHead;
@@ -38,6 +53,10 @@ struct FineTuneOptions {
   /// Z-score-normalize with train statistics before the adapter (paper
   /// preprocessing).
   bool normalize = true;
+  /// Invoked after every finished training epoch (head and joint phases
+  /// alike). Must be cheap and must not mutate the model. Leave empty when
+  /// no timeline is wanted — the loops then skip all progress bookkeeping.
+  std::function<void(const EpochProgress&)> on_epoch;
 };
 
 /// Outcome of a fine-tuning run on the scaled models (real measured numbers,
@@ -58,6 +77,11 @@ struct FineTuneResult {
 /// `model` is mutated only under kFullFineTune; learnable adapters are
 /// mutated by training. Returns InvalidArgument on shape mismatches and
 /// propagates adapter failures.
+///
+/// When a live resource budget is configured (obs::SetBudget, or the CLI's
+/// --mem-budget / --time-budget), the epoch and embed loops poll it and the
+/// run stops early with ResourceExhausted — diagnosis included — instead of
+/// blowing the cap.
 Result<FineTuneResult> FineTune(models::FoundationModel* model,
                                 core::Adapter* adapter,
                                 const data::TimeSeriesDataset& train,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/run_report.h"
 
 namespace tsfm::obs {
 
@@ -92,6 +93,8 @@ Registry& Registry::Instance() {
   static Registry* registry = new Registry();  // leaked: outlives all users
   static bool exit_dump_installed = (InstallExitDumpFromEnv(), true);
   (void)exit_dump_installed;
+  static bool timeline_installed = (InstallMetricsTimelineFromEnv(), true);
+  (void)timeline_installed;
   return *registry;
 }
 

@@ -7,6 +7,9 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
 namespace tsfm::obs {
 
 namespace {
@@ -57,19 +60,38 @@ void WriteTraceAtExit() {
   if (!path.empty()) WriteTrace(path);
 }
 
-// Resolves TSFM_TRACE once: when set, enables recording and registers the
-// exit-time writer. Returns the initial enabled state.
+// Publishes the trace buffer's own health to the metrics registry, so a
+// snapshot (or the timeline sampler) shows whether the span window is
+// complete: trace.events buffered, trace.dropped overwritten.
+void RegisterTraceMetrics() {
+  Registry::Instance().RegisterProvider("trace", [](Snapshot* snap) {
+    (*snap)["trace.events"] = static_cast<double>(TraceEventCount());
+    (*snap)["trace.dropped"] = static_cast<double>(TraceDroppedCount());
+  });
+}
+
+// Resolves TSFM_TRACE / TSFM_PROFILE once: either variable enables recording
+// and registers its exit-time writer. Returns the initial enabled state.
 bool InitFromEnv() {
-  const char* env = std::getenv("TSFM_TRACE");
-  if (env == nullptr || env[0] == '\0') return false;
-  TraceState& s = State();
-  {
-    std::lock_guard<std::mutex> lock(s.mu);
-    s.exit_path = env;
+  RegisterTraceMetrics();
+  bool enabled = false;
+  if (const char* env = std::getenv("TSFM_PROFILE");
+      env != nullptr && env[0] != '\0') {
+    internal::ArmProfileAtExit(env);
+    enabled = true;
   }
-  std::atexit(WriteTraceAtExit);
-  s.enabled.store(true, std::memory_order_relaxed);
-  return true;
+  if (const char* env = std::getenv("TSFM_TRACE");
+      env != nullptr && env[0] != '\0') {
+    TraceState& s = State();
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.exit_path = env;
+    }
+    std::atexit(WriteTraceAtExit);
+    enabled = true;
+  }
+  if (enabled) State().enabled.store(true, std::memory_order_relaxed);
+  return enabled;
 }
 
 std::atomic<bool>& EnabledFlag() {
@@ -140,6 +162,15 @@ void ClearTrace() {
 }
 
 bool WriteTrace(const std::string& path) {
+  // A full ring silently windows the trace; say so once per write so a
+  // truncated file is never mistaken for the whole run.
+  if (const int64_t dropped = TraceDroppedCount(); dropped > 0) {
+    std::fprintf(stderr,
+                 "trace: ring full, %lld oldest spans dropped — %s holds "
+                 "only the most recent %lld events\n",
+                 static_cast<long long>(dropped), path.c_str(),
+                 static_cast<long long>(TraceEventCount()));
+  }
   const std::vector<TraceEvent> events = TraceSnapshot();
   std::ofstream os(path, std::ios::trunc);
   if (!os) return false;

@@ -1,4 +1,6 @@
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -164,6 +166,60 @@ TEST(ClassifierTest, PredictIsDeterministic) {
   ASSERT_TRUE(p1.ok());
   ASSERT_TRUE(p2.ok());
   EXPECT_EQ(*p1, *p2);
+}
+
+TEST(ClassifierTest, FitAssemblesAndWritesRunReport) {
+  ClassifierConfig config = QuickConfig();
+  config.finetune.head_epochs = 5;
+  config.report_dir = ::testing::TempDir() + "/classifier_report_dir";
+  auto clf = TsfmClassifier::Create(config);
+  ASSERT_TRUE(clf.ok()) << clf.status().ToString();
+  auto pair = Problem(8);
+  ASSERT_TRUE(clf->Fit(pair.train, &pair.test).ok());
+
+  const obs::RunReport& report = clf->last_report();
+  EXPECT_EQ(report.command, "classify");
+  EXPECT_EQ(report.model, "ViT");
+  EXPECT_EQ(report.adapter, "PCA");
+  EXPECT_EQ(report.dprime, 3);
+  ASSERT_EQ(report.epochs.size(), 5u);
+  EXPECT_EQ(report.epochs.front().phase, "head");
+  EXPECT_GT(report.epochs.front().pool_live_bytes, 0.0);
+  EXPECT_GT(report.mem_peak_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(report.test_accuracy,
+                   clf->last_fit_result().test_accuracy);
+  // The paper-scale prediction for this configuration rides along.
+  EXPECT_TRUE(report.has_estimate);
+  EXPECT_EQ(report.estimate_regime, "embed_once_head_only");
+  EXPECT_EQ(report.estimate_channels, 3);
+  // No budget configured: the verdict is trivially "fits".
+  EXPECT_TRUE(report.budget.fits());
+
+  ASSERT_FALSE(clf->last_report_path().empty());
+  std::ifstream is(clf->last_report_path());
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  EXPECT_NE(buf.str().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(buf.str().find("\"estimate\""), std::string::npos);
+  std::remove(clf->last_report_path().c_str());
+}
+
+// The epoch-collector callback chains onto (not replaces) a user-installed
+// one.
+TEST(ClassifierTest, ReportCollectorChainsUserCallback) {
+  ClassifierConfig config = QuickConfig();
+  config.finetune.head_epochs = 3;
+  int user_calls = 0;
+  config.finetune.on_epoch = [&](const finetune::EpochProgress&) {
+    ++user_calls;
+  };
+  auto clf = TsfmClassifier::Create(config);
+  ASSERT_TRUE(clf.ok());
+  auto pair = Problem(9);
+  ASSERT_TRUE(clf->Fit(pair.train).ok());
+  EXPECT_EQ(user_calls, 3);
+  EXPECT_EQ(clf->last_report().epochs.size(), 3u);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include "finetune/finetune.h"
 #include "models/moment.h"
 #include "models/vit.h"
+#include "obs/budget.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace tsfm {
@@ -203,6 +205,78 @@ TEST(EmbedDatasetTest, ShapeAndBatchingConsistency) {
   Tensor chunked = finetune::EmbedDataset(*model, x, 3, 0);
   EXPECT_EQ(full.shape(), (Shape{10, 16}));
   EXPECT_LT(MaxAbsDiff(full, chunked), 1e-5f);
+}
+
+TEST(FineTuneTest, EpochCallbackDeliversFullTimeline) {
+  auto model = TinyMoment();
+  auto pair = SmallProblem(12);
+  FineTuneOptions o = QuickOptions(Strategy::kHeadOnly);
+  o.head_epochs = 5;
+  std::vector<finetune::EpochProgress> timeline;
+  o.on_epoch = [&](const finetune::EpochProgress& p) {
+    timeline.push_back(p);
+  };
+  auto r = FineTune(model.get(), nullptr, pair.train, pair.test, o);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(timeline.size(), 5u);
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    EXPECT_EQ(timeline[i].epoch, static_cast<int64_t>(i));
+    EXPECT_EQ(timeline[i].total_epochs, 5);
+    EXPECT_STREQ(timeline[i].phase, "head");
+    EXPECT_GE(timeline[i].accuracy, 0.0);
+    EXPECT_LE(timeline[i].accuracy, 1.0);
+    EXPECT_GT(timeline[i].seconds, 0.0);
+    EXPECT_GT(timeline[i].pool_live_bytes, 0);
+  }
+  // Training converges, so the last epoch should not be less accurate than
+  // the first by a wide margin — and loss must drop.
+  EXPECT_LT(timeline.back().loss, timeline.front().loss);
+}
+
+TEST(FineTuneTest, TinyMemoryBudgetStopsRunWithDiagnosis) {
+  auto model = TinyMoment();
+  auto pair = SmallProblem(13);
+
+  // Record spans so the diagnosis can name the hottest ones.
+  obs::EnableTracing();
+  obs::ClearTrace();
+
+  obs::BudgetLimits limits;
+  limits.mem_bytes = 1024;  // far below any real fine-tune footprint
+  obs::SetBudget(limits);
+  auto r = FineTune(model.get(), nullptr, pair.train, pair.test,
+                    QuickOptions(Strategy::kHeadOnly));
+  obs::ClearBudget();
+  obs::DisableTracing();
+  obs::ClearTrace();
+
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("memory budget exceeded"),
+            std::string::npos);
+  // The diagnosis names the loop that tripped and the top profiler nodes.
+  EXPECT_NE(r.status().message().find("finetune."), std::string::npos);
+  EXPECT_NE(r.status().message().find("hottest spans"), std::string::npos);
+}
+
+TEST(FineTuneTest, TinyTimeBudgetStopsJointLoop) {
+  auto model = TinyMoment();
+  auto pair = SmallProblem(14);
+  AdapterOptions ao;
+  ao.out_channels = 3;
+  auto adapter = core::CreateAdapter(AdapterKind::kLcomb, ao);
+
+  obs::BudgetLimits limits;
+  limits.time_seconds = 1e-9;
+  obs::SetBudget(limits);
+  auto r = FineTune(model.get(), adapter.get(), pair.train, pair.test,
+                    QuickOptions(Strategy::kAdapterPlusHead));
+  obs::ClearBudget();
+
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("time budget exceeded"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "resources/measured.h"
 #include "runtime/thread_pool.h"
@@ -286,6 +287,150 @@ TEST(Metrics, MeasurePeakReadsPoolMetricsFromRegistry) {
   EXPECT_GT(m.acquires, 0);
   // 256*256 floats = 256 KiB; the allocator must have held at least that.
   EXPECT_GE(m.peak_bytes, 256 * 1024);
+}
+
+TEST(Histogram, EmptyHistogramPercentileIsZero) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("obs_test.hist_empty");
+  EXPECT_EQ(h->count(), 0u);
+  // Every percentile of an empty histogram is 0.0, including the endpoints
+  // that normally short-circuit to the observed extrema.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleObservationCollapsesAllPercentiles) {
+  obs::Histogram* h =
+      obs::Registry::Instance().GetHistogram("obs_test.hist_single");
+  h->Observe(3.5);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->min(), 3.5);
+  EXPECT_DOUBLE_EQ(h->max(), 3.5);
+  // With one observation the in-bucket interpolation window collapses to
+  // [min, max] = [3.5, 3.5]: every percentile is the observation itself.
+  for (double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->Percentile(p), 3.5) << "p=" << p;
+  }
+}
+
+// The profiler reconstructs nesting per tid from span intervals. Run the
+// same outer+chunks workload serially and under a 4-worker pool: serially
+// the chunks are children of the outer span; in parallel, chunks that ran on
+// worker threads root their own subtrees (their parent ran on another tid).
+// Either way, every chunk occurrence must be accounted for exactly once.
+TEST(Profiler, NestingReconstructionUnderParallelFor) {
+  const int ambient = runtime::NumThreads();
+  auto run_profile = [&](int threads) {
+    runtime::SetNumThreads(threads);
+    obs::EnableTracing();
+    obs::ClearTrace();
+    {
+      TSFM_TRACE_SPAN("obs_test.outer");
+      runtime::ParallelFor(0, 64, /*grain=*/8, [](int64_t lo, int64_t hi) {
+        TSFM_TRACE_SPAN("obs_test.chunk");
+        volatile int64_t sink = 0;
+        for (int64_t i = lo; i < hi; ++i) sink = sink + i;
+      });
+    }
+    obs::DisableTracing();
+    return obs::Profile::FromCurrentTrace();
+  };
+
+  const obs::Profile serial = run_profile(1);
+  const obs::Profile parallel = run_profile(4);
+  runtime::SetNumThreads(ambient);
+
+  // Serial: one worker means every chunk interval lies inside the outer
+  // span's on the same tid — a single "outer;chunk" child node.
+  const obs::ProfileNode* outer = nullptr;
+  const obs::ProfileNode* chunk_child = nullptr;
+  for (const auto& n : serial.nodes()) {
+    if (n.path == "obs_test.outer") outer = &n;
+    if (n.path == "obs_test.outer;obs_test.chunk") chunk_child = &n;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(chunk_child, nullptr);
+  EXPECT_EQ(outer->calls, 1);
+  EXPECT_EQ(chunk_child->calls, 8);
+  EXPECT_EQ(chunk_child->depth, 1);
+  // Self time excludes the children: outer self = outer total - chunk total.
+  EXPECT_EQ(outer->self_ns, outer->total_ns - chunk_child->total_ns);
+  EXPECT_LE(chunk_child->min_ns, chunk_child->p50_ns);
+  EXPECT_LE(chunk_child->p50_ns, chunk_child->p99_ns);
+  EXPECT_LE(chunk_child->p99_ns, chunk_child->max_ns);
+
+  // Parallel: chunks may split across several tids (some nested under the
+  // outer span, some rooted on workers), but the call counts must still sum
+  // to the 8 executed chunks.
+  int64_t chunk_calls = 0;
+  bool outer_seen = false;
+  for (const auto& n : parallel.nodes()) {
+    if (n.name == "obs_test.chunk") chunk_calls += n.calls;
+    if (n.path == "obs_test.outer") outer_seen = true;
+  }
+  EXPECT_EQ(chunk_calls, 8);
+  EXPECT_TRUE(outer_seen);
+
+  // The per-name rollup folds all those subtrees back into one line.
+  const auto top = parallel.TopByTotal(10);
+  int64_t rolled = 0;
+  for (const auto& n : top) {
+    if (n.name == "obs_test.chunk") rolled = n.calls;
+  }
+  EXPECT_EQ(rolled, 8);
+}
+
+TEST(Profiler, SyntheticTreeAggregationAndRendering) {
+  // Hand-built event list (all on tid 0, nanoseconds): root [0, 1ms) with
+  // two "child" spans inside, plus an unrelated root on tid 1.
+  const std::vector<obs::TraceEvent> events = {
+      {"root", 0, 0, 1'000'000},
+      {"child", 0, 100'000, 200'000},
+      {"child", 0, 400'000, 300'000},
+      {"lone", 1, 0, 50'000},
+  };
+  const obs::Profile profile = obs::Profile::FromEvents(events);
+  ASSERT_EQ(profile.nodes().size(), 3u);
+  // DFS order, roots by descending total: root, its child, then lone.
+  EXPECT_EQ(profile.nodes()[0].path, "root");
+  EXPECT_EQ(profile.nodes()[1].path, "root;child");
+  EXPECT_EQ(profile.nodes()[2].path, "lone");
+  EXPECT_EQ(profile.nodes()[0].self_ns, 500'000);
+  EXPECT_EQ(profile.nodes()[1].calls, 2);
+  EXPECT_EQ(profile.nodes()[1].min_ns, 200'000);
+  EXPECT_EQ(profile.nodes()[1].max_ns, 300'000);
+
+  // Collapsed-stack export: "path self_us" lines, child path ';'-joined.
+  const std::string folded = profile.RenderCollapsed();
+  EXPECT_NE(folded.find("root 500\n"), std::string::npos);
+  EXPECT_NE(folded.find("root;child 500\n"), std::string::npos);
+  EXPECT_NE(folded.find("lone 50\n"), std::string::npos);
+
+  // JSON export names every field of every node.
+  const std::string json = profile.RenderJson();
+  EXPECT_NE(json.find("\"path\":\"root;child\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":2"), std::string::npos);
+
+  // Text table carries the header and the indented child row.
+  const std::string text = profile.RenderText();
+  EXPECT_NE(text.find("calls"), std::string::npos);
+  EXPECT_NE(text.find("span"), std::string::npos);
+  EXPECT_NE(text.find("  child"), std::string::npos);
+}
+
+TEST(Metrics, TraceProviderPublishesRingHealth) {
+  obs::EnableTracing();
+  obs::ClearTrace();
+  { TSFM_TRACE_SPAN("obs_test.provider_span"); }
+  obs::DisableTracing();
+  const obs::Snapshot snap = obs::Registry::Instance().TakeSnapshot();
+  ASSERT_NE(snap.find("trace.events"), snap.end());
+  ASSERT_NE(snap.find("trace.dropped"), snap.end());
+  EXPECT_GE(SnapValue(snap, "trace.events"), 1.0);
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "trace.dropped"), 0.0);
+  obs::ClearTrace();
 }
 
 TEST(Metrics, RenderTextListsSortedNames) {

@@ -12,13 +12,26 @@
 //       Fine-tune on your own CSV data and report accuracy.
 //
 // Observability flags (valid with every command):
-//   --trace out.json   record trace spans and write chrome://tracing JSON
-//                      (same effect as TSFM_TRACE=out.json)
-//   --metrics          dump the metrics registry to stderr on exit
-//                      (TSFM_METRICS=stderr|stdout|<path> does the same)
+//   --trace out.json     record trace spans and write chrome://tracing JSON
+//                        (same effect as TSFM_TRACE=out.json)
+//   --profile out.txt    record spans and write an aggregated call-tree
+//                        profile; .json / .folded (flamegraph) selected by
+//                        extension (same as TSFM_PROFILE=out.txt)
+//   --metrics [dest]     dump the metrics registry on exit: stderr (default),
+//                        stdout, or a file path (TSFM_METRICS does the same)
+//   --report [dir]       write a run-report JSON manifest per fine-tune run
+//                        into dir (default "reports"; TSFM_RUN_REPORT=dir)
+//   --threads N          size of the parallel runtime's thread pool
+//                        (same as TSFM_NUM_THREADS=N)
+//   --mem-budget BYTES   live resource budget; K/M/G suffixes accepted.
+//   --time-budget SECS   Fine-tune runs stop with ResourceExhausted at the
+//                        cap; `estimate` judges the paper-scale prediction
+//                        against it (defaults: V100 32G / 7200s).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -26,9 +39,13 @@
 #include "data/csv.h"
 #include "data/uea_like.h"
 #include "finetune/classifier.h"
+#include "obs/budget.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "resources/cost_model.h"
+#include "runtime/thread_pool.h"
 
 namespace tsfm::cli {
 namespace {
@@ -39,17 +56,40 @@ ArgMap ParseArgs(int argc, char** argv, int start) {
   ArgMap args;
   for (int i = start; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    // Valueless flags may appear anywhere without shifting later pairs.
+    const bool next_is_value =
+        i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+    // Valueless flags may appear anywhere without shifting later pairs;
+    // --metrics and --report take an optional value.
     if (std::strcmp(argv[i], "--full") == 0) {
       args["full"] = "1";
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      args["metrics"] = "stderr";
-    } else if (i + 1 < argc) {
-      args[argv[i] + 2] = argv[i + 1];
-      ++i;
+      args["metrics"] = next_is_value ? argv[++i] : "stderr";
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      args["report"] = next_is_value ? argv[++i] : "reports";
+    } else if (next_is_value) {
+      const std::string key = argv[i] + 2;
+      args[key] = argv[++i];
     }
   }
   return args;
+}
+
+// "512M" / "2G" / "4096" -> bytes; returns false on parse failure.
+bool ParseBytes(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0) return false;
+  switch (*end) {
+    case '\0':
+      break;
+    case 'k': case 'K': v *= 1024.0; break;
+    case 'm': case 'M': v *= 1024.0 * 1024.0; break;
+    case 'g': case 'G': v *= 1024.0 * 1024.0 * 1024.0; break;
+    default: return false;
+  }
+  *out = v;
+  return true;
 }
 
 std::string GetOr(const ArgMap& args, const std::string& key,
@@ -126,14 +166,32 @@ int CmdEstimate(const ArgMap& args) {
   resources::Workload workload{spec->train_size, spec->test_size, channels};
   auto est = resources::EstimateRun(model, resources::V100Spec(), workload,
                                     regime);
+  // Judge the prediction against the user's budget; axes left unset fall
+  // back to the paper's V100 testbed (32 GB, 2 hours).
+  obs::BudgetLimits limits;
+  limits.mem_bytes = resources::V100Spec().memory_bytes;
+  limits.time_seconds = resources::V100Spec().time_limit_seconds;
+  if (obs::BudgetConfigured()) {
+    const obs::BudgetLimits user = obs::CurrentBudget();
+    if (user.mem_bytes > 0) limits.mem_bytes = user.mem_bytes;
+    if (user.time_seconds > 0) limits.time_seconds = user.time_seconds;
+  }
+  const obs::BudgetVerdict verdict =
+      obs::JudgeBudget(limits, est.peak_memory_bytes, est.total_seconds);
   std::printf("%s on %s, %s, D=%lld:\n", model.name.c_str(),
               spec->name.c_str(), resources::TrainRegimeName(regime),
               static_cast<long long>(channels));
-  std::printf("  peak memory  %.1f GB (V100 budget: 32 GB)\n",
-              est.peak_memory_bytes / (1ull << 30));
-  std::printf("  time         %.0f s (budget: 7200 s)\n", est.total_seconds);
+  std::printf("  peak memory  %.1f GB (budget: %.1f GB)\n",
+              est.peak_memory_bytes / (1ull << 30),
+              limits.mem_bytes / (1ull << 30));
+  std::printf("  time         %.0f s (budget: %.0f s)\n", est.total_seconds,
+              limits.time_seconds);
   std::printf("  verdict      %s\n", resources::VerdictString(est.verdict));
-  return est.verdict == resources::Verdict::kOk ? 0 : 2;
+  std::printf("  budget       %s (mem headroom %.1f%%, time headroom "
+              "%.1f%%)\n",
+              obs::BudgetVerdictName(verdict.kind), verdict.mem_headroom_pct,
+              verdict.time_headroom_pct);
+  return est.verdict == resources::Verdict::kOk && verdict.fits() ? 0 : 2;
 }
 
 int CmdClassify(const ArgMap& args) {
@@ -188,6 +246,7 @@ int CmdClassify(const ArgMap& args) {
   }
   config.adapter_options.out_channels =
       std::stoll(GetOr(args, "dprime", "5"));
+  config.report_dir = GetOr(args, "report", "");
 
   auto classifier = finetune::TsfmClassifier::Create(config);
   if (!classifier.ok()) {
@@ -205,13 +264,18 @@ int CmdClassify(const ArgMap& args) {
   std::printf("train accuracy %.4f\n", result.train_accuracy);
   std::printf("test accuracy  %.4f\n", result.test_accuracy);
   std::printf("total seconds  %.2f\n", result.total_seconds);
+  if (!classifier->last_report_path().empty()) {
+    std::printf("report         %s\n", classifier->last_report_path().c_str());
+  }
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: tsfm <datasets|generate|estimate|classify> [--args]\n"
-               "       [--trace out.json] [--metrics]\n"
+               "       [--trace out.json] [--profile out.txt|.json|.folded]\n"
+               "       [--metrics [dest]] [--report [dir]] [--threads N]\n"
+               "       [--mem-budget BYTES[K|M|G]] [--time-budget SECONDS]\n"
                "see the header of tools/tsfm_cli.cc for details\n");
   return 1;
 }
@@ -221,8 +285,34 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   const ArgMap args = ParseArgs(argc, argv, 2);
 
+  if (const std::string threads = GetOr(args, "threads", "");
+      !threads.empty()) {
+    runtime::SetNumThreads(std::atoi(threads.c_str()));
+  }
+
+  obs::BudgetLimits budget;
+  bool have_budget = false;
+  if (const std::string mem = GetOr(args, "mem-budget", ""); !mem.empty()) {
+    if (!ParseBytes(mem, &budget.mem_bytes)) {
+      std::fprintf(stderr, "cannot parse --mem-budget '%s'\n", mem.c_str());
+      return 1;
+    }
+    have_budget = true;
+  }
+  if (const std::string t = GetOr(args, "time-budget", ""); !t.empty()) {
+    char* end = nullptr;
+    budget.time_seconds = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0' || budget.time_seconds < 0) {
+      std::fprintf(stderr, "cannot parse --time-budget '%s'\n", t.c_str());
+      return 1;
+    }
+    have_budget = true;
+  }
+  if (have_budget) obs::SetBudget(budget);
+
   const std::string trace_path = GetOr(args, "trace", "");
-  if (!trace_path.empty()) obs::EnableTracing();
+  const std::string profile_path = GetOr(args, "profile", "");
+  if (!trace_path.empty() || !profile_path.empty()) obs::EnableTracing();
 
   int rc;
   if (command == "datasets") {
@@ -246,11 +336,31 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
     }
   }
+  if (!profile_path.empty()) {
+    const obs::Profile profile = obs::Profile::FromCurrentTrace();
+    if (obs::WriteProfile(profile, profile_path)) {
+      std::fprintf(stderr, "profile: wrote %zu call-tree nodes to %s\n",
+                   profile.nodes().size(), profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "profile: cannot write %s\n", profile_path.c_str());
+    }
+  }
   const std::string metrics_dest = GetOr(args, "metrics", "");
   if (!metrics_dest.empty()) {
     const std::string text = obs::Registry::Instance().RenderText();
-    std::fputs(text.c_str(),
-               metrics_dest == "stdout" ? stdout : stderr);
+    if (metrics_dest == "stdout") {
+      std::fputs(text.c_str(), stdout);
+    } else if (metrics_dest == "stderr") {
+      std::fputs(text.c_str(), stderr);
+    } else {
+      std::ofstream os(metrics_dest, std::ios::trunc);
+      if (os) {
+        os << text;
+      } else {
+        std::fprintf(stderr, "metrics: cannot write %s\n",
+                     metrics_dest.c_str());
+      }
+    }
   }
   return rc;
 }
