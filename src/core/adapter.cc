@@ -1,6 +1,6 @@
 #include "core/adapter.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "common/check.h"
 #include "core/io_util.h"
@@ -8,11 +8,16 @@
 #include "core/lda_adapter.h"
 #include "core/pca_adapter.h"
 #include "core/static_adapters.h"
+#include "io/artifact.h"
 
 namespace tsfm::core {
 
 namespace {
-constexpr uint64_t kAdapterMagic = 0x5453464D41444150ULL;  // "TSFMADAP"
+// Adapter format v2: the option block + SaveState stream live inside the
+// io::WriteArtifact container (CRC-32 trailer, atomic replace). Pre-v2
+// files ("TSFMADAP" magic, no integrity data) fail the container check.
+constexpr uint64_t kAdapterMagic = 0x325044414D465354ULL;  // "TSFMADP2"
+constexpr uint32_t kAdapterVersion = 2;
 }  // namespace
 
 ag::Var Adapter::TransformVar(const ag::Var& x) const {
@@ -74,9 +79,7 @@ Status SaveAdapter(const Adapter& adapter, const AdapterOptions& options,
   if (!adapter.fitted()) {
     return Status::FailedPrecondition("cannot save an unfitted adapter");
   }
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::IoError("cannot open for writing: " + path);
-  io::WriteU64(&os, kAdapterMagic);
+  std::ostringstream os;
   io::WriteU64(&os, static_cast<uint64_t>(adapter.kind()));
   io::WriteU64(&os, static_cast<uint64_t>(options.out_channels));
   io::WriteU64(&os, options.pca_scale ? 1 : 0);
@@ -84,18 +87,16 @@ Status SaveAdapter(const Adapter& adapter, const AdapterOptions& options,
   io::WriteU64(&os, static_cast<uint64_t>(options.top_k));
   io::WriteU64(&os, options.seed);
   TSFM_RETURN_IF_ERROR(adapter.SaveState(&os));
-  if (!os) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  if (!os) return Status::IoError("adapter serialization failed");
+  return tsfm::io::WriteArtifact(path, kAdapterMagic, kAdapterVersion,
+                                 os.str());
 }
 
 Result<std::unique_ptr<Adapter>> LoadAdapter(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open for reading: " + path);
-  uint64_t magic = 0;
-  TSFM_RETURN_IF_ERROR(io::ReadU64(&is, &magic));
-  if (magic != kAdapterMagic) {
-    return Status::IoError("not an adapter file: " + path);
-  }
+  TSFM_ASSIGN_OR_RETURN(
+      const std::string payload,
+      tsfm::io::ReadArtifactPayload(path, kAdapterMagic, kAdapterVersion));
+  std::istringstream is(payload);
   uint64_t kind_raw = 0, out_channels = 0, pca_scale = 0, pws = 0, top_k = 0,
            seed = 0;
   TSFM_RETURN_IF_ERROR(io::ReadU64(&is, &kind_raw));

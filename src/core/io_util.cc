@@ -35,9 +35,18 @@ Status ReadTensor(std::istream* is, Tensor* t) {
   TSFM_RETURN_IF_ERROR(ReadU64(is, &ndim));
   if (ndim > 8) return Status::IoError("implausible tensor rank in file");
   Shape shape(ndim);
+  uint64_t numel = 1;
   for (uint64_t i = 0; i < ndim; ++i) {
     uint64_t d = 0;
     TSFM_RETURN_IF_ERROR(ReadU64(is, &d));
+    // Reject non-positive dims and anything whose element count could not
+    // come from a real adapter (the cap is far above any D x D' matrix but
+    // keeps a corrupt length field from allocating gigabytes). The divide
+    // keeps the running product overflow-free.
+    if (d == 0 || d > kMaxTensorElements / numel) {
+      return Status::IoError("non-positive or oversized dim in file");
+    }
+    numel *= d;
     shape[i] = static_cast<int64_t>(d);
   }
   Tensor out(shape);
@@ -56,11 +65,18 @@ void WriteInt64Vector(std::ostream* os, const std::vector<int64_t>& v) {
 Status ReadInt64Vector(std::istream* is, std::vector<int64_t>* v) {
   uint64_t n = 0;
   TSFM_RETURN_IF_ERROR(ReadU64(is, &n));
-  v->resize(n);
+  // Stored vectors are channel-index lists (VAR selection, lcomb top-k
+  // masks), at most a few thousand entries; an unbounded `n` from a corrupt
+  // file must not drive the resize below.
+  if (n > kMaxVectorLength) {
+    return Status::IoError("implausible vector length in file");
+  }
+  v->clear();
+  v->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t x = 0;
     TSFM_RETURN_IF_ERROR(ReadU64(is, &x));
-    (*v)[i] = static_cast<int64_t>(x);
+    v->push_back(static_cast<int64_t>(x));
   }
   return Status::OK();
 }

@@ -12,7 +12,15 @@
 namespace tsfm::core::io {
 
 // Binary (de)serialization helpers shared by the adapter save/load code.
-// Little-endian, fixed-width; not a public API.
+// Little-endian, fixed-width; not a public API. The streams these helpers
+// read are CRC-verified artifact payloads (io::ReadArtifactPayload), but
+// every length field is still bounded here so a crafted payload with a
+// valid checksum cannot trigger an unbounded allocation either.
+
+/// Upper bound on elements of a single serialized tensor (1 GiB of floats).
+constexpr uint64_t kMaxTensorElements = uint64_t{1} << 28;
+/// Upper bound on entries of a serialized int64 vector.
+constexpr uint64_t kMaxVectorLength = uint64_t{1} << 24;
 
 void WriteU64(std::ostream* os, uint64_t v);
 Status ReadU64(std::istream* is, uint64_t* v);

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "io/embed_cache.h"
 #include "obs/budget.h"
 #include "obs/run_report.h"
 #include "resources/measured.h"
@@ -46,6 +47,9 @@ ExperimentConfig ConfigFromEnv() {
   if (const char* dir = std::getenv("TSFM_CHECKPOINT_DIR"); dir != nullptr) {
     config.checkpoint_dir = dir;
   }
+  if (const char* cache = std::getenv("TSFM_CACHE_DIR"); cache != nullptr) {
+    config.cache_dir = cache;
+  }
   return config;
 }
 
@@ -76,7 +80,12 @@ std::string MethodLabel(const std::optional<core::AdapterKind>& adapter,
 }
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  // Sweeps revisit the same frozen (model, adapter, dataset) triples across
+  // strategies; routing them through the embedding cache makes every repeat
+  // a disk read instead of an encoder pass.
+  if (!config_.cache_dir.empty()) tsfm::io::SetEmbedCacheDir(config_.cache_dir);
+}
 
 std::vector<data::UeaDatasetSpec> ExperimentRunner::Datasets() const {
   std::vector<data::UeaDatasetSpec> out;

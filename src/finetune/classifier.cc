@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "core/io_util.h"
+#include "io/artifact.h"
 #include "nn/serialize.h"
 #include "obs/budget.h"
 #include "resources/cost_model.h"
@@ -15,6 +16,11 @@
 namespace tsfm::finetune {
 
 namespace {
+
+// Normalization-statistics file: two tensors (mean, std) inside the
+// integrity-checked artifact container.
+constexpr uint64_t kStatsMagic = 0x3241545345465354ULL;  // "TSFESTA2"
+constexpr uint32_t kStatsVersion = 2;
 
 // JSON literals for RunReport::options (the report writer emits values
 // verbatim, so numbers stay typed without a JSON library).
@@ -228,12 +234,12 @@ Status TsfmClassifier::Save(const std::string& prefix) const {
                                            prefix + ".adapter"));
   }
   TSFM_RETURN_IF_ERROR(nn::SaveCheckpoint(*head_, prefix + ".head"));
-  std::ofstream os(prefix + ".stats", std::ios::binary | std::ios::trunc);
-  if (!os) return Status::IoError("cannot open " + prefix + ".stats");
+  std::ostringstream os;
   core::io::WriteTensor(&os, stats_.mean);
   core::io::WriteTensor(&os, stats_.std);
-  if (!os) return Status::IoError("write failed: " + prefix + ".stats");
-  return Status::OK();
+  if (!os) return Status::IoError("stats serialization failed");
+  return io::WriteArtifact(prefix + ".stats", kStatsMagic, kStatsVersion,
+                           os.str());
 }
 
 Status TsfmClassifier::Load(const std::string& prefix, int64_t num_classes) {
@@ -251,8 +257,10 @@ Status TsfmClassifier::Load(const std::string& prefix, int64_t num_classes) {
   head_ = std::make_unique<models::ClassificationHead>(
       model_->embedding_dim(), num_classes, &head_rng);
   TSFM_RETURN_IF_ERROR(nn::LoadCheckpoint(head_.get(), prefix + ".head"));
-  std::ifstream is(prefix + ".stats", std::ios::binary);
-  if (!is) return Status::IoError("cannot open " + prefix + ".stats");
+  TSFM_ASSIGN_OR_RETURN(const std::string stats_payload,
+                        io::ReadArtifactPayload(prefix + ".stats", kStatsMagic,
+                                                kStatsVersion));
+  std::istringstream is(stats_payload);
   TSFM_RETURN_IF_ERROR(core::io::ReadTensor(&is, &stats_.mean));
   TSFM_RETURN_IF_ERROR(core::io::ReadTensor(&is, &stats_.std));
   fitted_ = true;

@@ -1,8 +1,11 @@
 #include "finetune/finetune.h"
 
 #include <chrono>
+#include <cstdio>
 #include <memory>
 
+#include "io/embed_cache.h"
+#include "io/hash.h"
 #include "obs/budget.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -190,6 +193,40 @@ Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
   return Concat(chunks, 0);
 }
 
+Tensor EmbedDatasetCached(const models::FoundationModel& model,
+                          const Tensor& x, int64_t batch_size, uint64_t seed,
+                          const std::string& salt) {
+  if (!io::EmbedCacheEnabled()) {
+    return EmbedDataset(model, x, batch_size, seed);
+  }
+  // The encoder is frozen on this path, so the embedding is a pure function
+  // of the weights, the (normalized, adapter-transformed) input, and the
+  // batch split. Hash exactly those; the salt folds in strategy/adapter tags
+  // so unrelated pipelines can never share an entry even on a hash fluke.
+  io::HashBuilder key;
+  key.AddString("tsfm.embed.v2");
+  key.AddString(salt);
+  key.AddU64(static_cast<uint64_t>(batch_size));
+  for (const auto& [name, p] : model.NamedParameters()) {
+    key.AddString(name);
+    key.AddTensor(p.value());
+  }
+  key.AddTensor(x);
+  const std::string digest = key.HexDigest();
+  if (Result<Tensor> hit = io::EmbedCacheLookup(digest); hit.ok()) {
+    return std::move(hit).value();
+  }
+  Tensor emb = EmbedDataset(model, x, batch_size, seed);
+  if (!obs::BudgetTripped() && emb.numel() > 0) {
+    if (Status s = io::EmbedCacheStore(digest, emb); !s.ok()) {
+      // A failed store never fails the run; the embedding is already here.
+      std::fprintf(stderr, "embed cache store failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  return emb;
+}
+
 Result<FineTuneResult> FineTune(models::FoundationModel* model,
                                 core::Adapter* adapter,
                                 const data::TimeSeriesDataset& train,
@@ -257,11 +294,14 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
       TSFM_ASSIGN_OR_RETURN(train_x, adapter->Transform(train_n.x));
       TSFM_ASSIGN_OR_RETURN(test_x, adapter->Transform(test_n.x));
     }
-    Tensor train_emb = EmbedDataset(*model, train_x, options.batch_size,
-                                    options.seed + 1);
+    const std::string cache_salt =
+        std::string(StrategyName(options.strategy)) + "/" +
+        (adapter != nullptr ? adapter->name() : "no_adapter");
+    Tensor train_emb = EmbedDatasetCached(*model, train_x, options.batch_size,
+                                          options.seed + 1, cache_salt);
     TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
-    Tensor test_emb =
-        EmbedDataset(*model, test_x, options.batch_size, options.seed + 2);
+    Tensor test_emb = EmbedDatasetCached(*model, test_x, options.batch_size,
+                                         options.seed + 2, cache_salt);
     TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
     TSFM_ASSIGN_OR_RETURN(
         result.final_loss,

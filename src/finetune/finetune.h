@@ -104,6 +104,17 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
 Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
                     int64_t batch_size, uint64_t seed);
 
+/// `EmbedDataset` behind the content-addressed embedding cache
+/// (io::EmbedCache*). When a cache directory is configured (TSFM_CACHE_DIR
+/// or the CLI's --cache-dir), the key hashes the model's parameters, the
+/// adapter-transformed input tensor, the batch size and `salt` (strategy +
+/// adapter tag from the caller); a hit skips the encoder entirely and is
+/// bit-identical to the miss path. With the cache disabled this is exactly
+/// `EmbedDataset`. Results of budget-aborted embed passes are never stored.
+Tensor EmbedDatasetCached(const models::FoundationModel& model,
+                          const Tensor& x, int64_t batch_size, uint64_t seed,
+                          const std::string& salt);
+
 }  // namespace tsfm::finetune
 
 #endif  // TSFM_FINETUNE_FINETUNE_H_

@@ -1,0 +1,291 @@
+#include "io/embed_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <utility>
+
+#include "io/artifact.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tsfm::io {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kEmbedMagic = 0x32424D454D465354ULL;  // "TSFMEMB2"
+constexpr uint32_t kEmbedVersion = 2;
+constexpr const char* kEntrySuffix = ".emb";
+constexpr int64_t kDefaultMaxBytes = int64_t{1} << 30;  // 1 GiB
+
+struct CacheMetrics {
+  obs::Counter* hit;
+  obs::Counter* miss;
+  obs::Counter* store;
+  obs::Counter* evictions;
+  obs::Counter* corrupt;
+  obs::Gauge* bytes;
+};
+
+CacheMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static CacheMetrics m{r.GetCounter("cache.hit"), r.GetCounter("cache.miss"),
+                        r.GetCounter("cache.store"),
+                        r.GetCounter("cache.evictions"),
+                        r.GetCounter("cache.corrupt"),
+                        r.GetGauge("cache.bytes")};
+  return m;
+}
+
+std::mutex& ConfigMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& DirOverride() {
+  static std::string dir;
+  return dir;
+}
+
+int64_t& MaxBytesOverride() {
+  static int64_t v = 0;
+  return v;
+}
+
+std::string EntryPath(const std::string& dir, const std::string& key) {
+  return dir + "/" + key + kEntrySuffix;
+}
+
+bool IsEntry(const fs::directory_entry& e) {
+  return e.is_regular_file() &&
+         e.path().extension() == kEntrySuffix &&
+         e.path().stem().string().find('.') == std::string::npos;
+}
+
+// Serializes a packed tensor as {ndim, dims..., float data}; the artifact
+// container around it supplies integrity and versioning.
+std::string EncodeTensor(const Tensor& t) {
+  const Tensor dense = t.Contiguous();
+  std::string payload;
+  payload.reserve(8 * static_cast<size_t>(1 + dense.ndim()) +
+                  static_cast<size_t>(dense.numel()) * sizeof(float));
+  auto append_u64 = [&payload](uint64_t v) {
+    payload.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u64(static_cast<uint64_t>(dense.ndim()));
+  for (int64_t d : dense.shape()) append_u64(static_cast<uint64_t>(d));
+  payload.append(reinterpret_cast<const char*>(dense.data()),
+                 static_cast<size_t>(dense.numel()) * sizeof(float));
+  return payload;
+}
+
+Result<Tensor> DecodeTensor(const std::string& payload) {
+  const char* p = payload.data();
+  size_t remaining = payload.size();
+  auto read_u64 = [&](uint64_t* v) {
+    if (remaining < sizeof(*v)) return false;
+    std::memcpy(v, p, sizeof(*v));
+    p += sizeof(*v);
+    remaining -= sizeof(*v);
+    return true;
+  };
+  uint64_t ndim = 0;
+  if (!read_u64(&ndim) || ndim > 8) {
+    return Status::IoError("cache entry has implausible tensor rank");
+  }
+  Shape shape(ndim);
+  int64_t numel = 1;
+  for (uint64_t i = 0; i < ndim; ++i) {
+    uint64_t d = 0;
+    if (!read_u64(&d)) return Status::IoError("cache entry truncated");
+    const auto dim = static_cast<int64_t>(d);
+    if (dim <= 0) return Status::IoError("cache entry has non-positive dim");
+    // The payload size is CRC-verified, so this exact-size check rejects any
+    // dims field that does not match the data actually present.
+    if (dim > static_cast<int64_t>(remaining)) {
+      return Status::IoError("cache entry dims exceed payload");
+    }
+    shape[i] = dim;
+    numel *= dim;
+    if (numel > (int64_t{1} << 40)) {
+      return Status::IoError("cache entry has implausible element count");
+    }
+  }
+  if (static_cast<size_t>(numel) * sizeof(float) != remaining) {
+    return Status::IoError("cache entry shape/data size mismatch");
+  }
+  Tensor t = Tensor::Empty(shape);
+  std::memcpy(t.mutable_data(), p, remaining);
+  return t;
+}
+
+// Evicts least-recently-used entries until `dir` fits under `max_bytes`;
+// refreshes the cache.bytes gauge with the directory's final size.
+void EvictToCap(const std::string& dir, int64_t max_bytes) {
+  struct Entry {
+    fs::path path;
+    int64_t bytes;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  int64_t total = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (!IsEntry(e)) continue;
+    std::error_code sec;
+    const auto size = static_cast<int64_t>(e.file_size(sec));
+    if (sec) continue;
+    entries.push_back({e.path(), size, e.last_write_time(sec)});
+    total += size;
+  }
+  if (total > max_bytes) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    for (const auto& entry : entries) {
+      if (total <= max_bytes) break;
+      std::error_code rec;
+      if (fs::remove(entry.path, rec)) {
+        total -= entry.bytes;
+        Metrics().evictions->Add(1);
+      }
+    }
+  }
+  Metrics().bytes->Set(static_cast<double>(total));
+}
+
+}  // namespace
+
+void SetEmbedCacheDir(std::string dir) {
+  std::lock_guard<std::mutex> lock(ConfigMutex());
+  DirOverride() = std::move(dir);
+}
+
+std::string EmbedCacheDir() {
+  {
+    std::lock_guard<std::mutex> lock(ConfigMutex());
+    if (!DirOverride().empty()) return DirOverride();
+  }
+  const char* env = std::getenv("TSFM_CACHE_DIR");
+  return env != nullptr ? env : "";
+}
+
+bool EmbedCacheEnabled() { return !EmbedCacheDir().empty(); }
+
+void SetEmbedCacheMaxBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(ConfigMutex());
+  MaxBytesOverride() = bytes;
+}
+
+int64_t EmbedCacheMaxBytes() {
+  {
+    std::lock_guard<std::mutex> lock(ConfigMutex());
+    if (MaxBytesOverride() > 0) return MaxBytesOverride();
+  }
+  if (const char* env = std::getenv("TSFM_CACHE_MAX_BYTES"); env != nullptr) {
+    const int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return kDefaultMaxBytes;
+}
+
+Result<Tensor> EmbedCacheLookup(const std::string& key) {
+  TSFM_TRACE_SPAN("io.cache.lookup");
+  const std::string dir = EmbedCacheDir();
+  if (dir.empty()) {
+    return Status::FailedPrecondition("embedding cache is disabled");
+  }
+  const std::string path = EntryPath(dir, key);
+  Result<std::string> payload =
+      ReadArtifactPayload(path, kEmbedMagic, kEmbedVersion);
+  if (!payload.ok()) {
+    Metrics().miss->Add(1);
+    if (payload.status().code() != StatusCode::kNotFound) {
+      // Corrupt entry: deleting it turns a permanent failure into one
+      // re-embed; the CRC already proved the bytes are not trustworthy.
+      Metrics().corrupt->Add(1);
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+    return payload.status();
+  }
+  Result<Tensor> tensor = DecodeTensor(*payload);
+  if (!tensor.ok()) {
+    Metrics().miss->Add(1);
+    Metrics().corrupt->Add(1);
+    std::error_code ec;
+    fs::remove(path, ec);
+    return tensor.status();
+  }
+  Metrics().hit->Add(1);
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);  // LRU touch
+  return tensor;
+}
+
+Status EmbedCacheStore(const std::string& key, const Tensor& value) {
+  TSFM_TRACE_SPAN("io.cache.store");
+  const std::string dir = EmbedCacheDir();
+  if (dir.empty()) {
+    return Status::FailedPrecondition("embedding cache is disabled");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create cache dir " + dir + ": " +
+                           ec.message());
+  }
+  TSFM_RETURN_IF_ERROR(WriteArtifact(EntryPath(dir, key), kEmbedMagic,
+                                     kEmbedVersion, EncodeTensor(value)));
+  Metrics().store->Add(1);
+  EvictToCap(dir, EmbedCacheMaxBytes());
+  return Status::OK();
+}
+
+std::vector<EmbedCacheEntryInfo> EmbedCacheScan(const std::string& dir,
+                                                bool verify) {
+  struct Raw {
+    EmbedCacheEntryInfo info;
+    fs::file_time_type mtime;
+  };
+  std::vector<Raw> raw;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (!IsEntry(e)) continue;
+    Raw r;
+    r.info.key = e.path().stem().string();
+    std::error_code sec;
+    r.info.bytes = static_cast<int64_t>(e.file_size(sec));
+    r.mtime = e.last_write_time(sec);
+    r.info.valid =
+        !verify ||
+        ReadArtifactPayload(e.path().string(), kEmbedMagic, kEmbedVersion)
+            .ok();
+    raw.push_back(std::move(r));
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const Raw& a, const Raw& b) { return a.mtime > b.mtime; });
+  std::vector<EmbedCacheEntryInfo> out;
+  out.reserve(raw.size());
+  for (auto& r : raw) out.push_back(std::move(r.info));
+  return out;
+}
+
+Result<int64_t> EmbedCacheClear(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return int64_t{0};
+  int64_t removed = 0;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (!IsEntry(e)) continue;
+    std::error_code rec;
+    if (fs::remove(e.path(), rec)) ++removed;
+  }
+  if (ec) return Status::IoError("cannot scan " + dir + ": " + ec.message());
+  Metrics().bytes->Set(0.0);
+  return removed;
+}
+
+}  // namespace tsfm::io

@@ -1,0 +1,77 @@
+#ifndef TSFM_IO_EMBED_CACHE_H_
+#define TSFM_IO_EMBED_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tsfm::io {
+
+/// Content-addressed, on-disk cache of frozen-encoder embeddings.
+///
+/// The linear-probe and adapter+head strategies never update the encoder, so
+/// the embedding of a dataset is a pure function of (model parameters,
+/// adapter output, batching) — the cache keys entries by a content hash of
+/// exactly those inputs (io::HashBuilder) and stores one artifact-container
+/// file (`<key>.emb`, CRC-protected, atomically written) per entry.
+///
+/// Configuration:
+///  - directory: SetEmbedCacheDir() (the CLI's --cache-dir) overrides the
+///    TSFM_CACHE_DIR environment variable; empty string = fall back to the
+///    environment; neither set = cache disabled, zero overhead.
+///  - size cap: SetEmbedCacheMaxBytes() overrides TSFM_CACHE_MAX_BYTES
+///    (K/M/G suffixes not parsed — plain bytes); default 1 GiB. After every
+///    store, the least-recently-used entries (by file mtime; lookups touch
+///    their entry) are evicted until the directory fits the cap.
+///
+/// Observability: every lookup runs under an "io.cache.lookup" trace span
+/// and bumps cache.hit / cache.miss; stores bump cache.store, evictions
+/// cache.evictions, corrupt entries cache.corrupt; cache.bytes gauges the
+/// directory size after the latest store/eviction pass.
+
+/// Overrides the cache directory ("" = fall back to TSFM_CACHE_DIR).
+void SetEmbedCacheDir(std::string dir);
+
+/// Resolved cache directory; empty when the cache is disabled.
+std::string EmbedCacheDir();
+
+/// True when a cache directory is configured (flag or environment).
+bool EmbedCacheEnabled();
+
+/// Overrides the size cap in bytes (<= 0 = fall back to TSFM_CACHE_MAX_BYTES
+/// / the 1 GiB default).
+void SetEmbedCacheMaxBytes(int64_t bytes);
+int64_t EmbedCacheMaxBytes();
+
+/// Fetches the tensor stored under `key`. NotFound on a clean miss;
+/// IoError when the entry exists but is corrupt (the entry is deleted so
+/// the next run re-embeds instead of failing forever). A hit refreshes the
+/// entry's LRU position.
+Result<Tensor> EmbedCacheLookup(const std::string& key);
+
+/// Stores `value` under `key` (atomic write + CRC), then evicts LRU entries
+/// until the directory respects the size cap.
+Status EmbedCacheStore(const std::string& key, const Tensor& value);
+
+/// One entry as seen by the maintenance commands (`tsfm cache ...`).
+struct EmbedCacheEntryInfo {
+  std::string key;
+  int64_t bytes = 0;
+  /// True when the entry re-reads cleanly (magic/version/size/CRC).
+  bool valid = false;
+};
+
+/// Lists the entries of `dir` (newest first). Pass EmbedCacheDir() for the
+/// active cache. With `verify`, each entry's CRC is re-checked.
+std::vector<EmbedCacheEntryInfo> EmbedCacheScan(const std::string& dir,
+                                                bool verify);
+
+/// Deletes every cache entry in `dir`; returns how many were removed.
+Result<int64_t> EmbedCacheClear(const std::string& dir);
+
+}  // namespace tsfm::io
+
+#endif  // TSFM_IO_EMBED_CACHE_H_

@@ -1,0 +1,64 @@
+#include "io/hash.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tsfm::io {
+
+namespace {
+
+inline uint64_t Mix1(uint64_t h, uint64_t chunk) {
+  // FNV-1a widened to 8-byte lanes, with an extra fold so high bytes of the
+  // chunk influence low bits of the state.
+  h = (h ^ chunk) * 0x100000001b3ULL;
+  return h ^ (h >> 32);
+}
+
+inline uint64_t Mix2(uint64_t h, uint64_t chunk) {
+  // splitmix64-style round on the second lane.
+  h += chunk + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 27);
+}
+
+}  // namespace
+
+void HashBuilder::AddBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p + i, 8);
+    h1_ = Mix1(h1_, chunk);
+    h2_ = Mix2(h2_, chunk);
+  }
+  if (i < len) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p + i, len - i);
+    // Fold in the tail length so "abc" and "abc\0" differ.
+    h1_ = Mix1(h1_, tail ^ (static_cast<uint64_t>(len - i) << 56));
+    h2_ = Mix2(h2_, tail ^ (static_cast<uint64_t>(len - i) << 56));
+  }
+}
+
+void HashBuilder::AddString(std::string_view s) {
+  AddU64(s.size());
+  AddBytes(s.data(), s.size());
+}
+
+void HashBuilder::AddTensor(const Tensor& t) {
+  AddU64(static_cast<uint64_t>(t.ndim()));
+  for (int64_t d : t.shape()) AddU64(static_cast<uint64_t>(d));
+  const Tensor dense = t.Contiguous();
+  AddBytes(dense.data(), static_cast<size_t>(dense.numel()) * sizeof(float));
+}
+
+std::string HashBuilder::HexDigest() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(h1_),
+                static_cast<unsigned long long>(h2_));
+  return buf;
+}
+
+}  // namespace tsfm::io

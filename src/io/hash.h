@@ -1,0 +1,42 @@
+#ifndef TSFM_IO_HASH_H_
+#define TSFM_IO_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tensor/tensor.h"
+
+namespace tsfm::io {
+
+/// Streaming 128-bit content hash used to key the embedding cache.
+///
+/// Two independent 64-bit mixing lanes over the same byte stream; the digest
+/// is their concatenation as 32 lowercase hex characters. Deterministic
+/// across processes, platforms and thread counts (it hashes bytes, and every
+/// tensor fed to it is packed first). Not cryptographic — collision
+/// resistance is "content-addressed cache" grade, not adversarial.
+class HashBuilder {
+ public:
+  /// Mixes `len` raw bytes into the digest.
+  void AddBytes(const void* data, size_t len);
+
+  /// Length-prefixed primitives, so adjacent fields cannot alias each other
+  /// ("ab" + "c" hashes differently from "a" + "bc").
+  void AddU64(uint64_t v) { AddBytes(&v, sizeof(v)); }
+  void AddString(std::string_view s);
+
+  /// Mixes shape and packed element bytes (views are contiguized first).
+  void AddTensor(const Tensor& t);
+
+  /// 32-hex-character digest of everything added so far.
+  std::string HexDigest() const;
+
+ private:
+  uint64_t h1_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  uint64_t h2_ = 0x9e3779b97f4a7c15ULL;  // golden-ratio basis
+};
+
+}  // namespace tsfm::io
+
+#endif  // TSFM_IO_HASH_H_

@@ -1,31 +1,63 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 #include <map>
+#include <sstream>
+
+#include "io/artifact.h"
 
 namespace tsfm::nn {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x5453464D30303031ULL;  // "TSFM0001"
+// Checkpoint format v2: the record stream below rides inside the
+// io::WriteArtifact container (magic + version + size header, CRC-32
+// trailer, atomic replace). v1 files ("TSFM0001", no integrity data) are
+// rejected by the container's magic check and re-pretrained by callers.
+constexpr uint64_t kMagic = 0x32504B434D465354ULL;  // "TSFMCKP2"
+constexpr uint32_t kVersion = 2;
 
-void WriteU64(std::ofstream& os, uint64_t v) {
+// Plausibility caps: a parameter path is a short slash-separated string and
+// tensors are at most (batch, time, channel, head)-shaped. Anything larger
+// is a corrupt or hostile length field, not a real checkpoint.
+constexpr uint64_t kMaxNameLen = 1 << 12;
+constexpr uint64_t kMaxNdim = 8;
+
+void WriteU64(std::ostream& os, uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool ReadU64(std::ifstream& is, uint64_t* v) {
-  is.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(is);
-}
+// Bounded reader over the (CRC-verified) payload: every length field is
+// checked against the bytes actually remaining, so no field can demand an
+// allocation beyond the file's real size.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload)
+      : p_(payload.data()), remaining_(payload.size()) {}
+
+  bool ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+
+  bool ReadBytes(void* dst, size_t n) {
+    if (remaining_ < n) return false;
+    std::memcpy(dst, p_, n);
+    p_ += n;
+    remaining_ -= n;
+    return true;
+  }
+
+  size_t remaining() const { return remaining_; }
+
+ private:
+  const char* p_;
+  size_t remaining_;
+};
 
 }  // namespace
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::IoError("cannot open for writing: " + path);
   const auto params = module.NamedParameters();
-  WriteU64(os, kMagic);
+  std::ostringstream os;
   WriteU64(os, params.size());
   for (const auto& [name, p] : params) {
     WriteU64(os, name.size());
@@ -36,38 +68,57 @@ Status SaveCheckpoint(const Module& module, const std::string& path) {
     os.write(reinterpret_cast<const char*>(t.data()),
              static_cast<std::streamsize>(t.numel() * sizeof(float)));
   }
-  if (!os) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return io::WriteArtifact(path, kMagic, kVersion, os.str());
 }
 
 Status LoadCheckpoint(Module* module, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open for reading: " + path);
-  uint64_t magic = 0, count = 0;
-  if (!ReadU64(is, &magic) || magic != kMagic) {
-    return Status::IoError("bad checkpoint magic in " + path);
+  TSFM_ASSIGN_OR_RETURN(const std::string payload,
+                        io::ReadArtifactPayload(path, kMagic, kVersion));
+  PayloadReader in(payload);
+  uint64_t count = 0;
+  if (!in.ReadU64(&count)) return Status::IoError("truncated checkpoint");
+  // Each record needs at least its two length fields.
+  if (count > in.remaining() / 16) {
+    return Status::IoError("implausible parameter count in checkpoint");
   }
-  if (!ReadU64(is, &count)) return Status::IoError("truncated checkpoint");
 
   std::map<std::string, Tensor> records;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
-    if (!ReadU64(is, &name_len)) return Status::IoError("truncated checkpoint");
+    if (!in.ReadU64(&name_len)) return Status::IoError("truncated checkpoint");
+    if (name_len > kMaxNameLen || name_len > in.remaining()) {
+      return Status::IoError("implausible parameter name length");
+    }
     std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in.ReadBytes(name.data(), name_len)) {
+      return Status::IoError("truncated checkpoint (name)");
+    }
     uint64_t ndim = 0;
-    if (!ReadU64(is, &ndim)) return Status::IoError("truncated checkpoint");
+    if (!in.ReadU64(&ndim)) return Status::IoError("truncated checkpoint");
+    if (ndim > kMaxNdim) {
+      return Status::IoError("implausible tensor rank in checkpoint");
+    }
     Shape shape(ndim);
+    uint64_t numel = 1;
     for (uint64_t d = 0; d < ndim; ++d) {
       uint64_t dim = 0;
-      if (!ReadU64(is, &dim)) return Status::IoError("truncated checkpoint");
+      if (!in.ReadU64(&dim)) return Status::IoError("truncated checkpoint");
+      // Overflow-safe bound: the element count can never exceed the float
+      // capacity of the bytes still unread, so divide before multiplying.
+      if (dim == 0 || dim > (in.remaining() / sizeof(float)) / numel) {
+        return Status::IoError("non-positive or oversized dim in checkpoint");
+      }
       shape[d] = static_cast<int64_t>(dim);
+      numel *= dim;
     }
-    Tensor t(shape);
-    is.read(reinterpret_cast<char*>(t.mutable_data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!is) return Status::IoError("truncated checkpoint data");
+    Tensor t = Tensor::Empty(shape);
+    if (!in.ReadBytes(t.mutable_data(), numel * sizeof(float))) {
+      return Status::IoError("truncated checkpoint data");
+    }
     records.emplace(std::move(name), std::move(t));
+  }
+  if (in.remaining() != 0) {
+    return Status::IoError("trailing bytes after checkpoint records");
   }
 
   auto params = module->NamedParameters();

@@ -10,6 +10,9 @@
 //                 [--adapter PCA|SVD|Rand_Proj|VAR|lcomb|lcomb_top_k|LDA|none]
 //                 [--dprime 5] [--checkpoint path]
 //       Fine-tune on your own CSV data and report accuracy.
+//   tsfm cache list|verify|clear [--cache-dir dir]
+//       Maintain the embedding cache: list entries, re-check every CRC,
+//       or delete all entries. Defaults to TSFM_CACHE_DIR.
 //
 // Observability flags (valid with every command):
 //   --trace out.json     record trace spans and write chrome://tracing JSON
@@ -27,6 +30,10 @@
 //   --time-budget SECS   Fine-tune runs stop with ResourceExhausted at the
 //                        cap; `estimate` judges the paper-scale prediction
 //                        against it (defaults: V100 32G / 7200s).
+//   --cache-dir DIR      content-addressed embedding cache: identical
+//                        frozen-encoder embed passes are served from disk
+//                        (same as TSFM_CACHE_DIR; watch cache.hit/cache.miss
+//                        in --metrics output)
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +44,7 @@
 
 #include "core/adapter.h"
 #include "data/csv.h"
+#include "io/embed_cache.h"
 #include "data/uea_like.h"
 #include "finetune/classifier.h"
 #include "obs/budget.h"
@@ -270,12 +278,60 @@ int CmdClassify(const ArgMap& args) {
   return 0;
 }
 
+// Maintenance verbs for the embedding cache; the directory comes from
+// --cache-dir or TSFM_CACHE_DIR.
+int CmdCache(const std::string& verb, const ArgMap& args) {
+  const std::string dir = GetOr(args, "cache-dir", io::EmbedCacheDir());
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "cache %s needs --cache-dir or TSFM_CACHE_DIR\n",
+                 verb.c_str());
+    return 1;
+  }
+  if (verb == "clear") {
+    const auto removed = io::EmbedCacheClear(dir);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "%s\n", removed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("removed %lld entries from %s\n",
+                static_cast<long long>(*removed), dir.c_str());
+    return 0;
+  }
+  if (verb != "list" && verb != "verify") {
+    std::fprintf(stderr, "unknown cache verb '%s' (list|verify|clear)\n",
+                 verb.c_str());
+    return 1;
+  }
+  const bool verify = verb == "verify";
+  const auto entries = io::EmbedCacheScan(dir, verify);
+  int64_t total = 0;
+  int corrupt = 0;
+  std::printf("%-32s %12s%s\n", "key", "bytes", verify ? "  crc" : "");
+  for (const auto& e : entries) {
+    std::printf("%-32s %12lld%s\n", e.key.c_str(),
+                static_cast<long long>(e.bytes),
+                verify ? (e.valid ? "  ok" : "  CORRUPT") : "");
+    total += e.bytes;
+    if (verify && !e.valid) ++corrupt;
+  }
+  std::printf("%zu entries, %lld bytes in %s\n", entries.size(),
+              static_cast<long long>(total), dir.c_str());
+  if (corrupt > 0) {
+    std::fprintf(stderr, "%d corrupt entries\n", corrupt);
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: tsfm <datasets|generate|estimate|classify> [--args]\n"
+               "usage: tsfm <datasets|generate|estimate|classify|cache> "
+               "[--args]\n"
                "       [--trace out.json] [--profile out.txt|.json|.folded]\n"
                "       [--metrics [dest]] [--report [dir]] [--threads N]\n"
                "       [--mem-budget BYTES[K|M|G]] [--time-budget SECONDS]\n"
+               "       [--cache-dir DIR]\n"
                "see the header of tools/tsfm_cli.cc for details\n");
   return 1;
 }
@@ -310,6 +366,11 @@ int Main(int argc, char** argv) {
   }
   if (have_budget) obs::SetBudget(budget);
 
+  if (const std::string cache_dir = GetOr(args, "cache-dir", "");
+      !cache_dir.empty()) {
+    io::SetEmbedCacheDir(cache_dir);
+  }
+
   const std::string trace_path = GetOr(args, "trace", "");
   const std::string profile_path = GetOr(args, "profile", "");
   if (!trace_path.empty() || !profile_path.empty()) obs::EnableTracing();
@@ -323,6 +384,10 @@ int Main(int argc, char** argv) {
     rc = CmdEstimate(args);
   } else if (command == "classify") {
     rc = CmdClassify(args);
+  } else if (command == "cache") {
+    rc = CmdCache(argc > 2 && std::strncmp(argv[2], "--", 2) != 0 ? argv[2]
+                                                                  : "list",
+                  args);
   } else {
     return Usage();
   }
