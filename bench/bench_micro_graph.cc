@@ -1,0 +1,109 @@
+// Graph-mode micro-benchmark: the encoder forward interpreted from the
+// captured dataflow IR (fused eltwise loops + planned slab reuse) against the
+// same forward run eagerly. The paired CI gate (tools/bench_compare.py)
+// requires BM_EncoderForwardGraph to be at least 10% faster than
+// BM_EncoderForwardEager and to not allocate a higher peak than it — the
+// whole point of the IR is fewer passes over memory and a smaller activation
+// footprint, and both claims are checked on every PR.
+//
+// Each benchmark reports a `peak_bytes` counter: the BufferPool high-water
+// delta of one encoder forward, measured outside the timed loop.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/executor.h"
+#include "memory/buffer_pool.h"
+#include "models/moment.h"
+#include "models/vit.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+constexpr int64_t kBatch = 4;
+constexpr int64_t kSteps = 32;
+constexpr int64_t kChannels = 8;
+
+// Peak pool bytes of one `fn()` call, measured after a warmup call so
+// lazily-built state (graph capture, pool freelists) is excluded.
+template <typename Fn>
+double MeasurePeakBytes(const Fn& fn) {
+  auto& pool = memory::BufferPool::Instance();
+  fn();  // warm caches and freelists
+  const uint64_t before = pool.Snapshot().live_bytes;
+  pool.ResetPeak();
+  fn();
+  const uint64_t peak = pool.Snapshot().peak_live_bytes;
+  return static_cast<double>(peak - before);
+}
+
+void BM_EncoderForwardEager(benchmark::State& state) {
+  Rng rng(1);
+  models::MomentModel model(models::MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({kBatch, kSteps, kChannels}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  graph::ScopedGraphMode mode(false);
+  ag::NoGradGuard guard;
+  const auto fwd = [&] {
+    ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+    benchmark::DoNotOptimize(emb.value().data());
+  };
+  state.counters["peak_bytes"] = MeasurePeakBytes(fwd);
+  for (auto _ : state) fwd();
+}
+BENCHMARK(BM_EncoderForwardEager);
+
+void BM_EncoderForwardGraph(benchmark::State& state) {
+  Rng rng(1);
+  models::MomentModel model(models::MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({kBatch, kSteps, kChannels}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  graph::ScopedGraphMode mode(true);
+  ag::NoGradGuard guard;
+  const auto fwd = [&] {
+    ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+    benchmark::DoNotOptimize(emb.value().data());
+  };
+  // The first call captures and compiles; MeasurePeakBytes warms past it so
+  // both the counter and the timed loop see steady-state replay.
+  state.counters["peak_bytes"] = MeasurePeakBytes(fwd);
+  for (auto _ : state) fwd();
+}
+BENCHMARK(BM_EncoderForwardGraph);
+
+void BM_VitForwardEager(benchmark::State& state) {
+  Rng rng(2);
+  models::VitModel model(models::VitTestConfig(), &rng);
+  Tensor x = Tensor::RandN({kBatch, kSteps, kChannels}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  graph::ScopedGraphMode mode(false);
+  ag::NoGradGuard guard;
+  const auto fwd = [&] {
+    ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+    benchmark::DoNotOptimize(emb.value().data());
+  };
+  state.counters["peak_bytes"] = MeasurePeakBytes(fwd);
+  for (auto _ : state) fwd();
+}
+BENCHMARK(BM_VitForwardEager);
+
+void BM_VitForwardGraph(benchmark::State& state) {
+  Rng rng(2);
+  models::VitModel model(models::VitTestConfig(), &rng);
+  Tensor x = Tensor::RandN({kBatch, kSteps, kChannels}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  graph::ScopedGraphMode mode(true);
+  ag::NoGradGuard guard;
+  const auto fwd = [&] {
+    ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+    benchmark::DoNotOptimize(emb.value().data());
+  };
+  state.counters["peak_bytes"] = MeasurePeakBytes(fwd);
+  for (auto _ : state) fwd();
+}
+BENCHMARK(BM_VitForwardGraph);
+
+}  // namespace
+}  // namespace tsfm
+
+BENCHMARK_MAIN();

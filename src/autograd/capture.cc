@@ -1,0 +1,46 @@
+#include "autograd/capture.h"
+
+namespace tsfm::ag::capture {
+
+namespace internal {
+thread_local Sink* g_sink = nullptr;
+}  // namespace internal
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd: return "Add";
+    case OpKind::kSub: return "Sub";
+    case OpKind::kMul: return "Mul";
+    case OpKind::kDiv: return "Div";
+    case OpKind::kNeg: return "Neg";
+    case OpKind::kScale: return "Scale";
+    case OpKind::kAddScalar: return "AddScalar";
+    case OpKind::kExp: return "Exp";
+    case OpKind::kLog: return "Log";
+    case OpKind::kSqrt: return "Sqrt";
+    case OpKind::kSquare: return "Square";
+    case OpKind::kTanh: return "Tanh";
+    case OpKind::kSigmoid: return "Sigmoid";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kGelu: return "Gelu";
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kTransposeLast2: return "TransposeLast2";
+    case OpKind::kPermute: return "Permute";
+    case OpKind::kReshape: return "Reshape";
+    case OpKind::kSlice: return "Slice";
+    case OpKind::kConcat: return "Concat";
+    case OpKind::kSumAxis: return "SumAxis";
+    case OpKind::kSoftmax: return "Softmax";
+  }
+  return "?";
+}
+
+void SetSink(Sink* sink) { internal::g_sink = sink; }
+
+ScopedSink::ScopedSink(Sink* sink) : previous_(internal::g_sink) {
+  internal::g_sink = sink;
+}
+
+ScopedSink::~ScopedSink() { internal::g_sink = previous_; }
+
+}  // namespace tsfm::ag::capture

@@ -1,0 +1,110 @@
+#ifndef TSFM_AUTOGRAD_CAPTURE_H_
+#define TSFM_AUTOGRAD_CAPTURE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "autograd/variable.h"
+
+// Trace-capture hooks for the graph IR (src/graph/).
+//
+// Every ag:: op on the encoder path reports itself to the thread-local
+// `Sink` after computing its eager result: (op kind, input Vars, output Var,
+// attributes). The sink — implemented by graph::GraphBuilder — maps the
+// `internal::Node*` identity of each Var to an IR value id; `MakeNode`
+// creates a fresh node per op call even under NoGradGuard, so node pointers
+// uniquely name intermediate values for the duration of a capture.
+//
+// The interface lives in autograd (not graph) so autograd does not depend on
+// the graph library; the cost when no sink is installed is one thread-local
+// load and branch per op call.
+namespace tsfm::ag::capture {
+
+/// Primitive op kinds an ag:: op can report. Ops not listed here (losses,
+/// LogSoftmax, TakeRows, ...) are never recorded; a capture that consumes
+/// one of their outputs fails cleanly and the caller falls back to eager.
+enum class OpKind : uint8_t {
+  // Elementwise binary (NumPy broadcast).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // Elementwise unary; kScale/kAddScalar carry a float immediate.
+  kNeg,
+  kScale,
+  kAddScalar,
+  kExp,
+  kLog,
+  kSqrt,
+  kSquare,
+  kTanh,
+  kSigmoid,
+  kRelu,
+  kGelu,
+  // Linear algebra / layout.
+  kMatMul,
+  kTransposeLast2,
+  kPermute,
+  kReshape,
+  kSlice,
+  kConcat,
+  // Reductions / rows.
+  kSumAxis,
+  kSoftmax,
+};
+
+const char* OpKindName(OpKind op);
+
+/// Attributes attached to a recorded op. `ints` borrows the caller's stack
+/// storage for the duration of the Record call only.
+struct Attrs {
+  const int64_t* ints = nullptr;  // Permute: perm; Slice: axis,start,end;
+  size_t num_ints = 0;            // SumAxis: axis,keepdim; Concat: axis
+  float f = 0.0f;                 // Scale / AddScalar immediate
+  bool alias = false;             // Reshape: output aliases input storage
+};
+
+/// Receives one callback per recorded op, in execution order.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Record(OpKind op, const Var* const* inputs, size_t num_inputs,
+                      const Var& out, const Attrs& attrs) = 0;
+};
+
+namespace internal {
+extern thread_local Sink* g_sink;
+}  // namespace internal
+
+/// The sink capturing on this thread, or nullptr.
+inline Sink* ActiveSink() { return internal::g_sink; }
+
+/// Installs `sink` as this thread's capture sink (nullptr to stop capturing).
+/// Prefer ScopedSink; a sink left installed past its lifetime is a
+/// use-after-free in every subsequent ag:: op on the thread.
+void SetSink(Sink* sink);
+
+/// RAII: installs `sink` for the current scope, restores the previous sink
+/// (usually nullptr) on exit.
+class ScopedSink {
+ public:
+  explicit ScopedSink(Sink* sink);
+  ~ScopedSink();
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Sink* previous_;
+};
+
+/// Called by ag:: ops after computing their eager result.
+inline void MaybeRecord(OpKind op, std::initializer_list<const Var*> inputs,
+                        const Var& out, const Attrs& attrs = {}) {
+  if (Sink* s = ActiveSink()) {
+    s->Record(op, inputs.begin(), inputs.size(), out, attrs);
+  }
+}
+
+}  // namespace tsfm::ag::capture
+
+#endif  // TSFM_AUTOGRAD_CAPTURE_H_

@@ -270,6 +270,8 @@ Result<RunRecord> ExperimentRunner::Run(const RunSpec& spec) {
     report.mem_acquires = static_cast<double>(mem.acquires);
     report.mem_pool_hits = static_cast<double>(mem.pool_hits);
     report.mem_heap_allocs = static_cast<double>(mem.heap_allocs);
+    report.graph_enabled = measured->graph_enabled;
+    report.embed_mode = measured->embed_mode;
     report.train_accuracy = measured->train_accuracy;
     report.test_accuracy = measured->test_accuracy;
     report.final_loss = measured->final_loss;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "graph/executor.h"
 #include "io/embed_cache.h"
 #include "io/hash.h"
 #include "obs/budget.h"
@@ -195,7 +196,13 @@ Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
 
 Tensor EmbedDatasetCached(const models::FoundationModel& model,
                           const Tensor& x, int64_t batch_size, uint64_t seed,
-                          const std::string& salt) {
+                          const std::string& salt, std::string* mode) {
+  // The cache key is deliberately independent of execution mode: graph and
+  // eager runs are bit-identical, so they share entries (asserted by the CI
+  // smoke test that warms the cache eager and hits it with --graph).
+  const char* encoder_mode =
+      graph::GraphModeEnabled() ? "graph" : "eager";
+  if (mode != nullptr) *mode = encoder_mode;
   if (!io::EmbedCacheEnabled()) {
     return EmbedDataset(model, x, batch_size, seed);
   }
@@ -214,6 +221,7 @@ Tensor EmbedDatasetCached(const models::FoundationModel& model,
   key.AddTensor(x);
   const std::string digest = key.HexDigest();
   if (Result<Tensor> hit = io::EmbedCacheLookup(digest); hit.ok()) {
+    if (mode != nullptr) *mode = "cache";
     return std::move(hit).value();
   }
   Tensor emb = EmbedDataset(model, x, batch_size, seed);
@@ -259,6 +267,8 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   obs::BeginBudgetRun();
   const auto t_start = Clock::now();
   FineTuneResult result;
+  result.graph_enabled = graph::GraphModeEnabled();
+  result.embed_mode = result.graph_enabled ? "graph" : "eager";
 
   // 1. Normalize with train statistics.
   data::TimeSeriesDataset train_n = train;
@@ -297,12 +307,19 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
     const std::string cache_salt =
         std::string(StrategyName(options.strategy)) + "/" +
         (adapter != nullptr ? adapter->name() : "no_adapter");
+    std::string train_mode, test_mode;
     Tensor train_emb = EmbedDatasetCached(*model, train_x, options.batch_size,
-                                          options.seed + 1, cache_salt);
+                                          options.seed + 1, cache_salt,
+                                          &train_mode);
     TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
     Tensor test_emb = EmbedDatasetCached(*model, test_x, options.batch_size,
-                                         options.seed + 2, cache_salt);
+                                         options.seed + 2, cache_salt,
+                                         &test_mode);
     TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
+    // "cache" only when the encoder truly never ran for either split.
+    result.embed_mode = (train_mode == "cache" && test_mode == "cache")
+                            ? "cache"
+                            : result.embed_mode;
     TSFM_ASSIGN_OR_RETURN(
         result.final_loss,
         TrainHead(&head, train_emb, train_n.y, options, &rng));

@@ -69,6 +69,13 @@ struct FineTuneResult {
   double adapter_fit_seconds = 0.0;
   double train_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Whether graph mode (TSFM_GRAPH=1 / --graph) was on during the run.
+  bool graph_enabled = false;
+  /// How the no-grad encoder forwards actually ran: "graph", "eager", or
+  /// "cache" when every dataset embedding came from the embedding cache and
+  /// the encoder never executed. Surfaces in the run report's "execution"
+  /// section.
+  std::string embed_mode = "eager";
 };
 
 /// Runs one fine-tuning experiment.
@@ -111,9 +118,12 @@ Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
 /// adapter tag from the caller); a hit skips the encoder entirely and is
 /// bit-identical to the miss path. With the cache disabled this is exactly
 /// `EmbedDataset`. Results of budget-aborted embed passes are never stored.
+/// When `mode` is non-null it receives how the embedding was produced:
+/// "cache" on a hit, otherwise "graph"/"eager" per the current graph mode.
 Tensor EmbedDatasetCached(const models::FoundationModel& model,
                           const Tensor& x, int64_t batch_size, uint64_t seed,
-                          const std::string& salt);
+                          const std::string& salt,
+                          std::string* mode = nullptr);
 
 }  // namespace tsfm::finetune
 

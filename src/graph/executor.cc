@@ -1,0 +1,379 @@
+#include "graph/executor.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "graph/passes.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/thread_pool.h"
+#include "tensor/op_math.h"
+#include "tensor/ops.h"
+
+namespace tsfm::graph {
+
+namespace {
+
+using CapOp = ag::capture::OpKind;
+
+std::atomic<bool> g_graph_mode{[] {
+  const char* env = std::getenv("TSFM_GRAPH");
+  return env != nullptr && env[0] == '1';
+}()};
+
+struct ExecMetrics {
+  obs::Counter* captures;
+  obs::Counter* capture_failures;
+  obs::Counter* executions;
+  obs::Counter* eager_fallbacks;
+  obs::Gauge* peak_bytes;
+  obs::Gauge* unplanned_bytes;
+};
+
+ExecMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static ExecMetrics m{r.GetCounter("graph.captures"),
+                       r.GetCounter("graph.capture_failures"),
+                       r.GetCounter("graph.executions"),
+                       r.GetCounter("graph.eager_fallbacks"),
+                       r.GetGauge("graph.peak_bytes"),
+                       r.GetGauge("graph.unplanned_bytes")};
+  return m;
+}
+
+/// One scalar step of a stage program. Mirrors the eager kernels in
+/// tensor/ops.cc expression for expression — any divergence breaks the
+/// bit-identity contract.
+inline float ApplyStage(const EltStage& s, float v, float o) {
+  switch (s.op) {
+    case CapOp::kAdd: return v + o;
+    case CapOp::kSub: return s.value_on_left ? v - o : o - v;
+    case CapOp::kMul: return v * o;
+    case CapOp::kDiv: return s.value_on_left ? v / o : o / v;
+    case CapOp::kNeg: return -v;
+    case CapOp::kScale: return v * s.immediate;
+    case CapOp::kAddScalar: return v + s.immediate;
+    case CapOp::kExp: return std::exp(v);
+    case CapOp::kLog: return std::log(v);
+    case CapOp::kSqrt: return std::sqrt(v);
+    case CapOp::kSquare: return v * v;
+    case CapOp::kTanh: return std::tanh(v);
+    case CapOp::kSigmoid: return ops::detail::SigmoidScalar(v);
+    case CapOp::kRelu: return ops::detail::ReluScalar(v);
+    case CapOp::kGelu: return ops::detail::GeluScalar(v);
+    default:
+      TSFM_CHECK(false) << "non-eltwise op in stage program";
+      return v;
+  }
+}
+
+constexpr int64_t kEltwiseGrain = 1 << 14;
+
+/// Runs a stage program over one strided loop: the chain value starts at the
+/// primary operand (inputs[0], output-shaped) and each stage folds in at
+/// most one extra operand. Operands are read through broadcast-view strides,
+/// advanced odometer-style so the generic path stays O(1) per element.
+void RunEltwise(const NodeDef& node, const std::vector<Tensor>& operands,
+                Tensor* out) {
+  const int64_t numel = out->numel();
+  if (numel == 0) return;
+  const Shape& shape = node.shape;
+  const size_t ndim = shape.size();
+  const size_t nops = operands.size();
+
+  struct OperandView {
+    const float* base;
+    std::vector<int64_t> strides;
+  };
+  std::vector<OperandView> views(nops);
+  bool all_dense = true;
+  for (size_t j = 0; j < nops; ++j) {
+    const Tensor& t = operands[j];
+    views[j].base = t.base();
+    views[j].strides = ops::detail::BroadcastViewStrides(t, shape);
+    all_dense &= (t.is_contiguous() && t.shape() == shape) || t.numel() == 1;
+  }
+  float* po = out->mutable_data();
+  const std::vector<EltStage>& stages = node.stages;
+
+  if (all_dense) {
+    // Every operand is either element-aligned with the output or a scalar.
+    std::vector<const float*> bases(nops);
+    std::vector<int64_t> steps(nops);
+    for (size_t j = 0; j < nops; ++j) {
+      bases[j] = views[j].base;
+      steps[j] = operands[j].numel() == 1 ? 0 : 1;
+    }
+    runtime::ParallelFor(0, numel, kEltwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        float v = bases[0][i * steps[0]];
+        for (const EltStage& s : stages) {
+          const float o = s.operand >= 0
+                              ? bases[static_cast<size_t>(s.operand)]
+                                     [i * steps[static_cast<size_t>(s.operand)]]
+                              : 0.0f;
+          v = ApplyStage(s, v, o);
+        }
+        po[i] = v;
+      }
+    });
+    return;
+  }
+
+  runtime::ParallelFor(0, numel, kEltwiseGrain, [&](int64_t lo, int64_t hi) {
+    // Odometer over the output's row-major coordinates; each operand keeps a
+    // running strided offset so no per-element index decode is needed.
+    std::vector<int64_t> coords(ndim, 0);
+    std::vector<int64_t> offsets(nops, 0);
+    int64_t rem = lo;
+    for (size_t d = ndim; d-- > 0;) {
+      coords[d] = rem % shape[d];
+      rem /= shape[d];
+      for (size_t j = 0; j < nops; ++j) {
+        offsets[j] += coords[d] * views[j].strides[d];
+      }
+    }
+    for (int64_t i = lo; i < hi; ++i) {
+      float v = views[0].base[offsets[0]];
+      for (const EltStage& s : stages) {
+        const float o =
+            s.operand >= 0
+                ? views[static_cast<size_t>(s.operand)]
+                      .base[offsets[static_cast<size_t>(s.operand)]]
+                : 0.0f;
+        v = ApplyStage(s, v, o);
+      }
+      po[i] = v;
+      for (size_t d = ndim; d-- > 0;) {
+        ++coords[d];
+        for (size_t j = 0; j < nops; ++j) offsets[j] += views[j].strides[d];
+        if (coords[d] < shape[d]) break;
+        coords[d] = 0;
+        for (size_t j = 0; j < nops; ++j) {
+          offsets[j] -= shape[d] * views[j].strides[d];
+        }
+      }
+    }
+  });
+}
+
+/// Packs a (possibly strided) tensor into a dense row-major destination —
+/// the materializing-reshape path. Same element order as Contiguous().
+void PackInto(const Tensor& src, Tensor* out) {
+  const int64_t numel = out->numel();
+  float* po = out->mutable_data();
+  if (src.is_contiguous()) {
+    const float* ps = src.data();
+    runtime::ParallelFor(0, numel, kEltwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = ps[i];
+    });
+    return;
+  }
+  const Shape& shape = src.shape();
+  const size_t ndim = shape.size();
+  const float* base = src.base();
+  runtime::ParallelFor(0, numel, kEltwiseGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> coords(ndim, 0);
+    int64_t off = 0;
+    int64_t rem = lo;
+    for (size_t d = ndim; d-- > 0;) {
+      coords[d] = rem % shape[d];
+      rem /= shape[d];
+      off += coords[d] * src.strides()[d];
+    }
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = base[off];
+      for (size_t d = ndim; d-- > 0;) {
+        ++coords[d];
+        off += src.strides()[d];
+        if (coords[d] < shape[d]) break;
+        coords[d] = 0;
+        off -= shape[d] * src.strides()[d];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+bool GraphModeEnabled() {
+  return g_graph_mode.load(std::memory_order_relaxed);
+}
+
+void SetGraphMode(bool enabled) {
+  g_graph_mode.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedGraphMode::ScopedGraphMode(bool enabled)
+    : previous_(GraphModeEnabled()) {
+  SetGraphMode(enabled);
+}
+
+ScopedGraphMode::~ScopedGraphMode() { SetGraphMode(previous_); }
+
+Tensor Execute(const Graph& graph, const MemoryPlan& plan, const Tensor& x) {
+  const size_t n = graph.nodes.size();
+  TSFM_CHECK_EQ(plan.node_slot.size(), n);
+  std::vector<Tensor> vals(n);
+  // Slabs are allocated lazily per execution (from the BufferPool, so the
+  // floats are recycled across calls) and shaped views of them receive every
+  // materialized intermediate.
+  std::vector<Tensor> slabs(plan.slot_floats.size());
+  auto dest = [&](size_t i) {
+    const int32_t slot = plan.node_slot[i];
+    TSFM_CHECK_GE(slot, 0) << "materializing node %" << i << " has no slot";
+    Tensor& slab = slabs[static_cast<size_t>(slot)];
+    if (slab.numel() == 0) {
+      slab = Tensor::Empty({plan.slot_floats[static_cast<size_t>(slot)]});
+    }
+    const Shape& shape = graph.nodes[i].shape;
+    return slab.Narrow(0, 0, NumElements(shape)).Reshape(shape);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const NodeDef& node = graph.nodes[i];
+    const auto in = [&](size_t j) -> const Tensor& {
+      return vals[static_cast<size_t>(node.inputs[j])];
+    };
+    switch (node.kind) {
+      case OpKind::kInput:
+        vals[i] = x;
+        break;
+      case OpKind::kParam:
+        vals[i] = node.param->value;
+        break;
+      case OpKind::kEltwise: {
+        Tensor out = dest(i);
+        std::vector<Tensor> operands;
+        operands.reserve(node.inputs.size());
+        for (size_t j = 0; j < node.inputs.size(); ++j) {
+          operands.push_back(in(j));
+        }
+        RunEltwise(node, operands, &out);
+        vals[i] = std::move(out);
+        break;
+      }
+      case OpKind::kMatMul: {
+        Tensor out = dest(i);
+        MatMulInto(in(0), in(1), &out);
+        vals[i] = std::move(out);
+        break;
+      }
+      case OpKind::kMatMulTransB: {
+        Tensor out = dest(i);
+        MatMulTransBInto(in(0), in(1), &out);
+        vals[i] = std::move(out);
+        break;
+      }
+      case OpKind::kTransposeLast2:
+        vals[i] = TransposeLast2(in(0));
+        break;
+      case OpKind::kPermute:
+        vals[i] = in(0).PermuteAxes(
+            std::vector<int64_t>(node.iattrs.begin(), node.iattrs.end()));
+        break;
+      case OpKind::kSlice:
+        vals[i] = in(0).Narrow(node.iattrs[0], node.iattrs[1],
+                               node.iattrs[2] - node.iattrs[1]);
+        break;
+      case OpKind::kReshape:
+        if (node.alias) {
+          vals[i] = in(0).Reshape(node.shape);
+        } else {
+          Tensor out = dest(i);
+          PackInto(in(0), &out);
+          vals[i] = std::move(out);
+        }
+        break;
+      case OpKind::kConcat: {
+        Tensor out = dest(i);
+        std::vector<Tensor> parts;
+        parts.reserve(node.inputs.size());
+        for (size_t j = 0; j < node.inputs.size(); ++j) parts.push_back(in(j));
+        ConcatInto(parts, node.iattrs[0], &out);
+        vals[i] = std::move(out);
+        break;
+      }
+      case OpKind::kSumAxis: {
+        Tensor out = dest(i);
+        SumInto(in(0), node.iattrs[0], node.iattrs[1] != 0, &out);
+        vals[i] = std::move(out);
+        break;
+      }
+      case OpKind::kSoftmax: {
+        Tensor out = dest(i);
+        SoftmaxInto(in(0), &out);
+        vals[i] = std::move(out);
+        break;
+      }
+    }
+  }
+  TSFM_CHECK_GE(graph.output, 0);
+  return vals[static_cast<size_t>(graph.output)];
+}
+
+Tensor Executor::Run(const Tensor& x, const EagerFn& eager) {
+  std::shared_ptr<const CompiledGraph> compiled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_shape_.find(x.shape());
+    if (it != by_shape_.end()) compiled = it->second;
+  }
+  if (compiled == nullptr) {
+    // First sight of this shape: capture outside the lock (Run is reached
+    // from ParallelFor workers during batched embedding, and the eager
+    // forward itself parallelizes). Concurrent captures of the same shape
+    // are wasted work, not corruption — the first insert wins.
+    TSFM_TRACE_SPAN("graph.capture");
+    auto entry = std::make_shared<CompiledGraph>();
+    Graph captured;
+    GraphBuilder builder(&captured);
+    ag::Var in = ag::Constant(x);
+    builder.MarkInput(in);
+    ag::Var out;
+    {
+      ag::capture::ScopedSink scoped(&builder);
+      out = eager(in);
+    }
+    entry->capture_status = builder.Finish(out);
+    if (entry->capture_status.ok()) {
+      entry->graph = std::move(captured);
+      RunStandardPasses(&entry->graph);
+      entry->plan = PlanMemory(entry->graph);
+      Metrics().captures->Add(1);
+      Metrics().peak_bytes->Set(
+          static_cast<double>(entry->plan.planned_peak_bytes));
+      Metrics().unplanned_bytes->Set(
+          static_cast<double>(entry->plan.unplanned_bytes));
+    } else {
+      Metrics().capture_failures->Add(1);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      by_shape_.emplace(x.shape(), std::move(entry));
+    }
+    // The capture forward already computed the result; return it so the
+    // first call costs one eager forward and nothing more.
+    return out.value();
+  }
+  if (!compiled->capture_status.ok()) {
+    Metrics().eager_fallbacks->Add(1);
+    return eager(ag::Constant(x)).value();
+  }
+  TSFM_TRACE_SPAN("graph.execute");
+  Metrics().executions->Add(1);
+  return Execute(compiled->graph, compiled->plan, x);
+}
+
+std::shared_ptr<const CompiledGraph> Executor::Lookup(
+    const Shape& shape) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_shape_.find(shape);
+  return it != by_shape_.end() ? it->second : nullptr;
+}
+
+}  // namespace tsfm::graph

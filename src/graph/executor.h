@@ -1,0 +1,76 @@
+#ifndef TSFM_GRAPH_EXECUTOR_H_
+#define TSFM_GRAPH_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/ir.h"
+#include "graph/planner.h"
+
+// Graph-mode execution: per-shape plan cache + topo-order interpreter.
+//
+// Opt-in via TSFM_GRAPH=1 (or --graph in the CLI, which calls
+// SetGraphMode). The model's EncodeChannels routes through Executor::Run
+// only when graph mode is on AND gradients are off — training always runs
+// eager. The first Run for a given input shape captures the eager forward
+// (returning its result, so capture costs one forward and nothing else),
+// runs the standard passes, and plans activation memory; subsequent Runs
+// interpret the compiled plan. A capture failure (unsupported op) is cached
+// per shape and every later Run for that shape goes eager — graph mode can
+// degrade performance-wise but never abort.
+namespace tsfm::graph {
+
+/// True when graph mode is enabled for this process: TSFM_GRAPH=1 in the
+/// environment (read once) unless overridden by SetGraphMode.
+bool GraphModeEnabled();
+void SetGraphMode(bool enabled);
+
+/// RAII override for tests/benchmarks.
+class ScopedGraphMode {
+ public:
+  explicit ScopedGraphMode(bool enabled);
+  ~ScopedGraphMode();
+  ScopedGraphMode(const ScopedGraphMode&) = delete;
+  ScopedGraphMode& operator=(const ScopedGraphMode&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Interprets `graph` on input `x`, writing intermediates into the plan's
+/// slots. Bit-identical to the captured eager forward at every thread
+/// count. Thread-safe: slots are allocated per call.
+Tensor Execute(const Graph& graph, const MemoryPlan& plan, const Tensor& x);
+
+/// One compiled forward: captured graph + memory plan. Immutable after
+/// construction, safe to share across threads.
+struct CompiledGraph {
+  Status capture_status;  // !ok(): this shape permanently falls back
+  Graph graph;
+  MemoryPlan plan;
+};
+
+class Executor {
+ public:
+  using EagerFn = std::function<ag::Var(const ag::Var&)>;
+
+  /// Runs the forward for `x`. First call per input shape: runs `eager`
+  /// once under capture and returns its result. Later calls: interprets the
+  /// compiled plan (or re-runs `eager` if that shape's capture failed).
+  Tensor Run(const Tensor& x, const EagerFn& eager);
+
+  /// Compiled entry for `shape`, or nullptr if that shape has not been
+  /// captured yet. Test/introspection hook.
+  std::shared_ptr<const CompiledGraph> Lookup(const Shape& shape) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Shape, std::shared_ptr<const CompiledGraph>> by_shape_;
+};
+
+}  // namespace tsfm::graph
+
+#endif  // TSFM_GRAPH_EXECUTOR_H_

@@ -1,0 +1,252 @@
+#include "graph/ir.h"
+
+#include <sstream>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace tsfm::graph {
+
+namespace {
+
+using CapOp = ag::capture::OpKind;
+
+bool IsBinary(CapOp op) {
+  return op == CapOp::kAdd || op == CapOp::kSub || op == CapOp::kMul ||
+         op == CapOp::kDiv;
+}
+
+bool IsUnaryEltwise(CapOp op) {
+  switch (op) {
+    case CapOp::kNeg:
+    case CapOp::kScale:
+    case CapOp::kAddScalar:
+    case CapOp::kExp:
+    case CapOp::kLog:
+    case CapOp::kSqrt:
+    case CapOp::kSquare:
+    case CapOp::kTanh:
+    case CapOp::kSigmoid:
+    case CapOp::kRelu:
+    case CapOp::kGelu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kParam: return "param";
+    case OpKind::kEltwise: return "eltwise";
+    case OpKind::kMatMul: return "matmul";
+    case OpKind::kMatMulTransB: return "matmul_transb";
+    case OpKind::kTransposeLast2: return "transpose_last2";
+    case OpKind::kPermute: return "permute";
+    case OpKind::kSlice: return "slice";
+    case OpKind::kReshape: return "reshape";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kSumAxis: return "sum_axis";
+    case OpKind::kSoftmax: return "softmax";
+  }
+  return "?";
+}
+
+std::vector<int32_t> Graph::UseCounts() const {
+  std::vector<int32_t> uses(nodes.size(), 0);
+  for (const NodeDef& node : nodes) {
+    for (int32_t in : node.inputs) uses[static_cast<size_t>(in)]++;
+  }
+  if (output >= 0) uses[static_cast<size_t>(output)]++;
+  return uses;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "graph(input=%" << input << ", output=%" << output << ", "
+     << nodes.size() << " nodes, " << captured_ops << " captured ops)\n";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeDef& n = nodes[i];
+    os << "  %" << i << " = " << OpKindName(n.kind);
+    if (!n.label.empty()) os << "[" << n.label << "]";
+    os << "(";
+    for (size_t j = 0; j < n.inputs.size(); ++j) {
+      os << (j ? ", " : "") << "%" << n.inputs[j];
+    }
+    os << ") : " << ShapeToString(n.shape);
+    if (n.kind == OpKind::kEltwise && n.stages.size() > 1) {
+      os << " stages=" << n.stages.size();
+    }
+    if (n.alias) os << " alias";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void GraphBuilder::MarkInput(const ag::Var& v) {
+  TSFM_CHECK(graph_->nodes.empty()) << "MarkInput must precede the forward";
+  NodeDef def;
+  def.kind = OpKind::kInput;
+  def.shape = v.shape();
+  def.label = "input";
+  graph_->nodes.push_back(std::move(def));
+  graph_->input = 0;
+  ids_[v.node().get()] = 0;
+  retained_.push_back(v.node());
+}
+
+int32_t GraphBuilder::Lookup(const ag::Var& v) {
+  auto it = ids_.find(v.node().get());
+  if (it != ids_.end()) return it->second;
+  const std::string& op = v.node()->op_name;
+  if (op != "leaf") {
+    // Produced by an op with no capture hook (LogSoftmax, a loss, ...):
+    // this graph cannot express the forward. Latch and let the executor
+    // fall back to eager.
+    status_ = Status::Unimplemented(
+        "graph capture: value produced by unsupported op '" + op + "'");
+    return -1;
+  }
+  NodeDef def;
+  def.kind = OpKind::kParam;
+  def.shape = v.shape();
+  def.param = v.node();
+  def.label = "param";
+  graph_->nodes.push_back(std::move(def));
+  const int32_t id = static_cast<int32_t>(graph_->nodes.size()) - 1;
+  ids_[v.node().get()] = id;
+  retained_.push_back(v.node());
+  return id;
+}
+
+int32_t GraphBuilder::Append(NodeDef def, const ag::Var& out) {
+  def.shape = out.shape();
+  graph_->nodes.push_back(std::move(def));
+  const int32_t id = static_cast<int32_t>(graph_->nodes.size()) - 1;
+  ids_[out.node().get()] = id;
+  retained_.push_back(out.node());
+  graph_->captured_ops++;
+  return id;
+}
+
+void GraphBuilder::Record(CapOp op, const ag::Var* const* inputs,
+                          size_t num_inputs, const ag::Var& out,
+                          const ag::capture::Attrs& attrs) {
+  if (!status_.ok()) return;
+
+  if (IsBinary(op)) {
+    TSFM_CHECK_EQ(num_inputs, size_t{2});
+    const ag::Var& a = *inputs[0];
+    const ag::Var& b = *inputs[1];
+    // Normalize to a stage program: the primary operand must already have
+    // the output shape so the chain value walks output elements 1:1. Prefer
+    // the left input (matches eager evaluation order for same-shape pairs).
+    NodeDef def;
+    def.kind = OpKind::kEltwise;
+    def.label = ag::capture::OpKindName(op);
+    EltStage stage;
+    stage.op = op;
+    stage.operand = 1;
+    int32_t primary, operand;
+    if (a.shape() == out.shape()) {
+      primary = Lookup(a);
+      operand = Lookup(b);
+      stage.value_on_left = true;
+    } else if (b.shape() == out.shape()) {
+      primary = Lookup(b);
+      operand = Lookup(a);
+      stage.value_on_left = false;
+    } else {
+      // Two-sided broadcast (neither input has the output shape) — rare and
+      // not on the encoder path; the stage evaluator cannot express it.
+      status_ = Status::Unimplemented(
+          "graph capture: two-sided broadcast in " + def.label);
+      return;
+    }
+    if (primary < 0 || operand < 0) return;
+    def.inputs = {primary, operand};
+    def.stages.push_back(stage);
+    Append(std::move(def), out);
+    return;
+  }
+
+  if (IsUnaryEltwise(op)) {
+    TSFM_CHECK_EQ(num_inputs, size_t{1});
+    const int32_t in = Lookup(*inputs[0]);
+    if (in < 0) return;
+    NodeDef def;
+    def.kind = OpKind::kEltwise;
+    def.label = ag::capture::OpKindName(op);
+    def.inputs = {in};
+    EltStage stage;
+    stage.op = op;
+    stage.immediate = attrs.f;
+    def.stages.push_back(stage);
+    Append(std::move(def), out);
+    return;
+  }
+
+  NodeDef def;
+  def.label = ag::capture::OpKindName(op);
+  def.iattrs.assign(attrs.ints, attrs.ints + attrs.num_ints);
+  def.alias = attrs.alias;
+  switch (op) {
+    case CapOp::kMatMul: def.kind = OpKind::kMatMul; break;
+    case CapOp::kTransposeLast2: def.kind = OpKind::kTransposeLast2; break;
+    case CapOp::kPermute: def.kind = OpKind::kPermute; break;
+    case CapOp::kReshape: def.kind = OpKind::kReshape; break;
+    case CapOp::kSlice: def.kind = OpKind::kSlice; break;
+    case CapOp::kConcat: def.kind = OpKind::kConcat; break;
+    case CapOp::kSumAxis: def.kind = OpKind::kSumAxis; break;
+    case CapOp::kSoftmax: def.kind = OpKind::kSoftmax; break;
+    default:
+      status_ = Status::Unimplemented(
+          std::string("graph capture: unhandled op ") +
+          ag::capture::OpKindName(op));
+      return;
+  }
+  def.inputs.reserve(num_inputs);
+  for (size_t i = 0; i < num_inputs; ++i) {
+    const int32_t id = Lookup(*inputs[i]);
+    if (id < 0) return;
+    def.inputs.push_back(id);
+  }
+  Append(std::move(def), out);
+}
+
+Status GraphBuilder::Finish(const ag::Var& out) {
+  if (!status_.ok()) return status_;
+  auto it = ids_.find(out.node().get());
+  if (it == ids_.end()) {
+    return Status::Unimplemented(
+        "graph capture: forward output was not produced by captured ops "
+        "(op '" + out.node()->op_name + "')");
+  }
+  graph_->output = it->second;
+  if (graph_->captured_ops == 0) {
+    return Status::Unimplemented("graph capture: forward recorded no ops");
+  }
+  return Status::OK();
+}
+
+Result<Graph> Capture(const Tensor& x,
+                      const std::function<ag::Var(const ag::Var&)>& forward) {
+  Graph graph;
+  GraphBuilder builder(&graph);
+  ag::Var in = ag::Constant(x);
+  builder.MarkInput(in);
+  ag::Var out;
+  {
+    ag::capture::ScopedSink scoped(&builder);
+    out = forward(in);
+  }
+  Status status = builder.Finish(out);
+  if (!status.ok()) return status;
+  return graph;
+}
+
+}  // namespace tsfm::graph

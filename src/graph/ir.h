@@ -1,0 +1,144 @@
+#ifndef TSFM_GRAPH_IR_H_
+#define TSFM_GRAPH_IR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/capture.h"
+#include "autograd/variable.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+// Dataflow IR over the encoder forward.
+//
+// A `Graph` is a topologically ordered list of `NodeDef`s produced by
+// trace-capture: the eager forward runs once with a GraphBuilder installed
+// as the thread's ag::capture::Sink, and every recorded primitive appends a
+// node. Elementwise primitives are normalized at capture time into
+// single-stage kEltwise nodes (a "stage program" of scalar ops over one
+// strided loop), which is what makes chain fusion a pure list concatenation
+// later (see passes.h).
+//
+// Determinism contract: interpreting a Graph — before or after any pass —
+// produces output bit-identical to the eager forward at every thread count.
+// Passes may only rewrite a node when the rewritten form performs the same
+// scalar float operations in the same per-element order.
+namespace tsfm::graph {
+
+enum class OpKind : uint8_t {
+  kInput,          // the single graph argument
+  kParam,          // captured leaf (weight / constant); value read at exec
+  kEltwise,        // stage program over one strided loop
+  kMatMul,         // tsfm::MatMulInto
+  kMatMulTransB,   // tsfm::MatMulTransBInto (fold_transpose_matmul output)
+  kTransposeLast2, // zero-copy view
+  kPermute,        // zero-copy view; iattrs = perm
+  kSlice,          // zero-copy view; iattrs = axis, start, end
+  kReshape,        // view when alias, else materializing copy
+  kConcat,         // tsfm::ConcatInto; iattrs = axis
+  kSumAxis,        // tsfm::SumInto; iattrs = axis, keepdim
+  kSoftmax,        // tsfm::SoftmaxInto
+};
+
+const char* OpKindName(OpKind kind);
+
+/// One scalar operation in a kEltwise stage program. Binary ops read their
+/// second operand from NodeDef::inputs[operand]; kScale/kAddScalar carry a
+/// float immediate; the rest are unary.
+struct EltStage {
+  ag::capture::OpKind op;
+  float immediate = 0.0f;
+  int32_t operand = -1;
+  // For non-commutative binaries: true = running value is the left operand.
+  bool value_on_left = true;
+};
+
+struct NodeDef {
+  OpKind kind = OpKind::kEltwise;
+  /// Value ids (indices into Graph::nodes) this node reads. For kEltwise,
+  /// inputs[0] is the primary (loop-carried) operand — its shape equals the
+  /// node shape up to broadcast — and the rest are stage operands.
+  std::vector<int32_t> inputs;
+  Shape shape;
+  /// Layout/reduction attributes; see OpKind comments for the layout.
+  std::vector<int64_t> iattrs;
+  /// kReshape: true when the output aliases inputs[0]'s storage (recorded
+  /// from the actual eager result; the planner must not assign a slot).
+  bool alias = false;
+  std::vector<EltStage> stages;
+  /// Diagnostics: primitive name or fusion label ("bias_gelu", "eltwise_3").
+  std::string label;
+  /// kParam: the captured leaf node. The value is re-read at every
+  /// execution, so optimizer updates (full fine-tune) flow into cached
+  /// plans; holding the shared_ptr keeps per-capture constants (positional
+  /// slices, zero padding) alive for the plan's lifetime.
+  std::shared_ptr<ag::internal::Node> param;
+};
+
+struct Graph {
+  std::vector<NodeDef> nodes;  // topological order
+  int32_t input = -1;
+  int32_t output = -1;
+  int64_t captured_ops = 0;  // primitives recorded at capture time
+
+  /// Uses per value id; the output counts as one use. Recomputed on demand
+  /// by passes after every rewrite.
+  std::vector<int32_t> UseCounts() const;
+
+  /// Multi-line human-readable dump (tests / debugging).
+  std::string ToString() const;
+};
+
+/// ag::capture::Sink that appends recorded primitives to a Graph. Usage:
+///   GraphBuilder builder(&graph);
+///   builder.MarkInput(in_var);
+///   { ag::capture::ScopedSink scoped(&builder);  out_var = forward(in_var); }
+///   Status s = builder.Finish(out_var);
+/// The first unsupported construct (an op with no capture hook feeding the
+/// traced region, or a broadcast shape the stage evaluator cannot express)
+/// latches an error status; recording continues as a no-op and Finish
+/// returns the error.
+class GraphBuilder : public ag::capture::Sink {
+ public:
+  explicit GraphBuilder(Graph* graph) : graph_(graph) {}
+
+  /// Registers `v` as the graph argument. Must be called before the forward.
+  void MarkInput(const ag::Var& v);
+
+  void Record(ag::capture::OpKind op, const ag::Var* const* inputs,
+              size_t num_inputs, const ag::Var& out,
+              const ag::capture::Attrs& attrs) override;
+
+  /// Resolves the output value and returns the capture status.
+  Status Finish(const ag::Var& out);
+
+ private:
+  /// Value id for `v`, registering unseen leaves as kParam. Returns -1 and
+  /// latches `status_` when `v` was produced by an op capture cannot see.
+  int32_t Lookup(const ag::Var& v);
+  int32_t Append(NodeDef def, const ag::Var& out);
+
+  Graph* graph_;
+  Status status_;
+  std::unordered_map<const ag::internal::Node*, int32_t> ids_;
+  /// Keeps every recorded value's Node alive for the capture's duration.
+  /// Without this, no-grad intermediates die mid-forward and the allocator
+  /// recycles their addresses — and `ids_` (keyed by Node*) would silently
+  /// identify two different values.
+  std::vector<std::shared_ptr<ag::internal::Node>> retained_;
+};
+
+/// Runs `forward` once eagerly under a GraphBuilder and returns the captured
+/// graph. On failure (unsupported op) returns the error status; the eager
+/// result is discarded either way — use Executor::Run when the result
+/// matters.
+Result<Graph> Capture(const Tensor& x,
+                      const std::function<ag::Var(const ag::Var&)>& forward);
+
+}  // namespace tsfm::graph
+
+#endif  // TSFM_GRAPH_IR_H_

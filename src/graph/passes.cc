@@ -1,0 +1,168 @@
+#include "graph/passes.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace tsfm::graph {
+
+namespace {
+
+// Register pressure bound for fused loops: a stage program longer than this
+// stops accumulating stages.
+constexpr size_t kMaxStages = 16;
+
+struct PassMetrics {
+  obs::Counter* fused_ops;
+  obs::Counter* fused_bias_gelu;
+  obs::Counter* folded_matmuls;
+};
+
+PassMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static PassMetrics m{r.GetCounter("graph.fused_ops"),
+                       r.GetCounter("graph.fused_bias_gelu"),
+                       r.GetCounter("graph.folded_matmuls")};
+  return m;
+}
+
+bool IsEltwise(const NodeDef& node) { return node.kind == OpKind::kEltwise; }
+
+// Merges eltwise producer `p` into consumer node `c` (whose primary operand
+// is `p`): the merged node runs p's stages then c's stages in one loop.
+// Caller guarantees p has a single use and p.shape == c.shape, so the chain
+// value walks the same elements throughout.
+void MergeChain(const NodeDef& p, NodeDef* c) {
+  std::vector<int32_t> inputs = p.inputs;
+  const int32_t shift =
+      static_cast<int32_t>(p.inputs.size()) - 1;  // c's operands append here
+  for (size_t i = 1; i < c->inputs.size(); ++i) inputs.push_back(c->inputs[i]);
+  std::vector<EltStage> stages = p.stages;
+  for (EltStage stage : c->stages) {
+    if (stage.operand >= 0) stage.operand += shift;
+    stages.push_back(stage);
+  }
+  c->inputs = std::move(inputs);
+  c->stages = std::move(stages);
+}
+
+void FoldTransposeMatMul(Graph* graph) {
+  const std::vector<int32_t> uses = graph->UseCounts();
+  for (NodeDef& node : graph->nodes) {
+    if (node.kind != OpKind::kMatMul) continue;
+    const int32_t b = node.inputs[1];
+    const NodeDef& bn = graph->nodes[static_cast<size_t>(b)];
+    if (bn.kind != OpKind::kTransposeLast2) continue;
+    if (uses[static_cast<size_t>(b)] != 1) continue;
+    node.kind = OpKind::kMatMulTransB;
+    node.inputs[1] = bn.inputs[0];
+    node.label = "matmul_transb";
+    Metrics().folded_matmuls->Add(1);
+  }
+  EliminateDeadNodes(graph);
+}
+
+void FuseBiasGelu(Graph* graph) {
+  const std::vector<int32_t> uses = graph->UseCounts();
+  for (NodeDef& node : graph->nodes) {
+    if (!IsEltwise(node) || node.stages.size() != 1 ||
+        node.stages[0].op != ag::capture::OpKind::kGelu) {
+      continue;
+    }
+    const int32_t p = node.inputs[0];
+    const NodeDef& pn = graph->nodes[static_cast<size_t>(p)];
+    if (!IsEltwise(pn) || pn.stages.size() != 1 ||
+        pn.stages[0].op != ag::capture::OpKind::kAdd) {
+      continue;
+    }
+    if (uses[static_cast<size_t>(p)] != 1 || pn.shape != node.shape) continue;
+    MergeChain(pn, &node);
+    node.label = "bias_gelu";
+    Metrics().fused_bias_gelu->Add(1);
+    Metrics().fused_ops->Add(1);
+  }
+  EliminateDeadNodes(graph);
+}
+
+void FuseEltwise(Graph* graph) {
+  // Fixpoint: each round merges single-use eltwise producers into their
+  // consumer's primary slot. Merging node p into c leaves p dead; use
+  // counts are recomputed per round rather than patched in place.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<int32_t> uses = graph->UseCounts();
+    for (NodeDef& node : graph->nodes) {
+      if (!IsEltwise(node) || node.inputs.empty()) continue;
+      const int32_t p = node.inputs[0];
+      const NodeDef& pn = graph->nodes[static_cast<size_t>(p)];
+      if (!IsEltwise(pn)) continue;
+      if (uses[static_cast<size_t>(p)] != 1) continue;
+      if (pn.shape != node.shape) continue;
+      if (pn.stages.size() + node.stages.size() > kMaxStages) continue;
+      MergeChain(pn, &node);
+      node.label = "eltwise_" + std::to_string(node.stages.size());
+      Metrics().fused_ops->Add(1);
+      changed = true;
+      break;  // uses are stale after a merge; restart the scan
+    }
+  }
+  EliminateDeadNodes(graph);
+}
+
+}  // namespace
+
+void EliminateDeadNodes(Graph* graph) {
+  const size_t n = graph->nodes.size();
+  std::vector<bool> live(n, false);
+  if (graph->input >= 0) live[static_cast<size_t>(graph->input)] = true;
+  // Nodes are topologically ordered, so one reverse sweep reaches the full
+  // transitive fan-in of the output.
+  if (graph->output >= 0) live[static_cast<size_t>(graph->output)] = true;
+  for (size_t i = n; i-- > 0;) {
+    if (!live[i]) continue;
+    for (int32_t in : graph->nodes[i].inputs) {
+      live[static_cast<size_t>(in)] = true;
+    }
+  }
+  std::vector<int32_t> remap(n, -1);
+  std::vector<NodeDef> kept;
+  kept.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    remap[i] = static_cast<int32_t>(kept.size());
+    kept.push_back(std::move(graph->nodes[i]));
+  }
+  for (NodeDef& node : kept) {
+    for (int32_t& in : node.inputs) {
+      in = remap[static_cast<size_t>(in)];
+      TSFM_CHECK_GE(in, 0);
+    }
+  }
+  graph->nodes = std::move(kept);
+  graph->input = remap[static_cast<size_t>(graph->input)];
+  graph->output = remap[static_cast<size_t>(graph->output)];
+}
+
+const std::vector<PassInfo>& StandardPasses() {
+  static const std::vector<PassInfo> kPasses = {
+      {"fold_transpose_matmul", FoldTransposeMatMul},
+      {"fuse_bias_gelu", FuseBiasGelu},
+      {"fuse_eltwise", FuseEltwise},
+  };
+  return kPasses;
+}
+
+void RunPassesUpTo(Graph* graph, size_t upto) {
+  const auto& passes = StandardPasses();
+  upto = std::min(upto, passes.size());
+  for (size_t i = 0; i < upto; ++i) passes[i].run(graph);
+}
+
+void RunStandardPasses(Graph* graph) {
+  RunPassesUpTo(graph, StandardPasses().size());
+}
+
+}  // namespace tsfm::graph

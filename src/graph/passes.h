@@ -1,0 +1,49 @@
+#ifndef TSFM_GRAPH_PASSES_H_
+#define TSFM_GRAPH_PASSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/ir.h"
+
+// Graph rewrite passes. Every pass preserves the determinism contract:
+// interpreting the graph after the pass is bit-identical to before it (and
+// to eager), because each rewrite keeps the per-element scalar operation
+// sequence intact:
+//
+//   * fold_transpose_matmul — MatMul(a, TransposeLast2(b)) where the
+//     transpose has a single use becomes MatMulTransB(a, b). The TransB
+//     kernel accumulates each output element's k products in the same
+//     ascending order as the packed-B kernel, and skips the transpose pack.
+//   * fuse_bias_gelu — the MIGraphX rewrite_fastgelu pattern: a
+//     single-use Add feeding a Gelu collapses into one two-stage loop, so
+//     the bias-add intermediate is never materialized.
+//   * fuse_eltwise — generalizes the same merge to any single-use eltwise
+//     node feeding another's primary operand with an equal shape, to a
+//     bounded stage count (covers LayerNorm's sub/mul/mul/add tail).
+//
+// Each pass ends with dead-node elimination, so fused-away producers stop
+// occupying planner slots. Passes are individually invocable by index —
+// the bit-identity property test runs them one at a time.
+namespace tsfm::graph {
+
+struct PassInfo {
+  const char* name;
+  void (*run)(Graph* graph);
+};
+
+/// The standard pipeline, in execution order.
+const std::vector<PassInfo>& StandardPasses();
+
+/// Runs passes [0, upto) of the standard pipeline; upto beyond the pipeline
+/// length is clamped. RunStandardPasses runs all of them.
+void RunPassesUpTo(Graph* graph, size_t upto);
+void RunStandardPasses(Graph* graph);
+
+/// Removes nodes unreachable from the output (the input node is always
+/// kept), remapping value ids. Exposed for tests.
+void EliminateDeadNodes(Graph* graph);
+
+}  // namespace tsfm::graph
+
+#endif  // TSFM_GRAPH_PASSES_H_

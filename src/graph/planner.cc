@@ -1,0 +1,119 @@
+#include "graph/planner.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "memory/buffer_pool.h"
+
+namespace tsfm::graph {
+
+namespace {
+
+bool IsView(const NodeDef& node) {
+  switch (node.kind) {
+    case OpKind::kTransposeLast2:
+    case OpKind::kPermute:
+    case OpKind::kSlice:
+      return true;
+    case OpKind::kReshape:
+      return node.alias;
+    default:
+      return false;
+  }
+}
+
+bool Materializes(const NodeDef& node) {
+  return node.kind != OpKind::kInput && node.kind != OpKind::kParam &&
+         !IsView(node);
+}
+
+}  // namespace
+
+MemoryPlan PlanMemory(const Graph& graph) {
+  const size_t n = graph.nodes.size();
+  MemoryPlan plan;
+  plan.node_slot.assign(n, -1);
+  if (n == 0) return plan;
+
+  // View-closure storage root per value.
+  std::vector<int32_t> root(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeDef& node = graph.nodes[i];
+    root[i] = IsView(node) ? root[static_cast<size_t>(node.inputs[0])]
+                           : static_cast<int32_t>(i);
+  }
+
+  // Last use per storage root. The output's root is pinned to the end so
+  // its storage is never recycled into a later node.
+  constexpr int64_t kLiveToEnd = std::numeric_limits<int64_t>::max();
+  std::vector<int64_t> last_use(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    for (int32_t in : graph.nodes[i].inputs) {
+      const size_t r = static_cast<size_t>(root[static_cast<size_t>(in)]);
+      last_use[r] = static_cast<int64_t>(i);
+    }
+  }
+  TSFM_CHECK_GE(graph.output, 0);
+  last_use[static_cast<size_t>(root[static_cast<size_t>(graph.output)])] =
+      kLiveToEnd;
+
+  // Greedy best-fit over a free list. Slots are released only when their
+  // root's last use is strictly before the current node, so a node can
+  // never be assigned a slot one of its own inputs still occupies.
+  struct SlotState {
+    int64_t floats;
+    bool free;
+  };
+  std::vector<SlotState> slots;
+  std::vector<int32_t> root_slot(n, -1);
+
+  for (size_t i = 0; i < n; ++i) {
+    const NodeDef& node = graph.nodes[i];
+    for (size_t r = 0; r < n; ++r) {
+      if (root_slot[r] >= 0 && last_use[r] >= 0 &&
+          last_use[r] < static_cast<int64_t>(i)) {
+        slots[static_cast<size_t>(root_slot[r])].free = true;
+        root_slot[r] = -2;  // released; never reconsidered
+      }
+    }
+    if (!Materializes(node)) continue;
+    const int64_t need =
+        memory::BufferPool::BucketCapacity(NumElements(node.shape));
+    plan.unplanned_bytes += need * static_cast<int64_t>(sizeof(float));
+    if (last_use[i] < 0) continue;  // dead value: nothing reads it
+    // Best fit: the smallest free slot that holds `need`; otherwise grow
+    // the largest free slot; otherwise open a new one.
+    int32_t best = -1, largest = -1;
+    for (size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].free) continue;
+      if (slots[s].floats >= need &&
+          (best < 0 || slots[s].floats < slots[static_cast<size_t>(best)].floats)) {
+        best = static_cast<int32_t>(s);
+      }
+      if (largest < 0 ||
+          slots[s].floats > slots[static_cast<size_t>(largest)].floats) {
+        largest = static_cast<int32_t>(s);
+      }
+    }
+    int32_t slot = best >= 0 ? best : largest;
+    if (slot < 0) {
+      slots.push_back({need, false});
+      slot = static_cast<int32_t>(slots.size()) - 1;
+    } else {
+      SlotState& st = slots[static_cast<size_t>(slot)];
+      st.floats = std::max(st.floats, need);
+      st.free = false;
+    }
+    plan.node_slot[i] = slot;
+    root_slot[i] = slot;
+  }
+
+  plan.slot_floats.reserve(slots.size());
+  for (const SlotState& s : slots) {
+    plan.slot_floats.push_back(s.floats);
+    plan.planned_peak_bytes += s.floats * static_cast<int64_t>(sizeof(float));
+  }
+  return plan;
+}
+
+}  // namespace tsfm::graph

@@ -1,0 +1,45 @@
+#ifndef TSFM_GRAPH_PLANNER_H_
+#define TSFM_GRAPH_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ir.h"
+
+// Liveness-based activation memory planner.
+//
+// Materializing nodes (everything except the input, params, and zero-copy
+// views) are assigned to a small set of reusable slots sized in BufferPool
+// bucket capacities. A slot is free for reuse once the storage it holds is
+// past its last use — where "storage" is the view-closure root: a view node
+// aliases its base, so all uses of any view extend the base's lifetime.
+//
+// Invariants (exercised by graph_test):
+//   * a node's output slot is never one of its inputs' live slots (the
+//     planner only frees storage whose last use is strictly before the
+//     current node, so in-place aliasing cannot occur);
+//   * the graph output's storage is pinned live to the end and its slot is
+//     excluded from the reported peak-slot reuse;
+//   * planned_peak_bytes = sum of slot capacities, the exact footprint the
+//     interpreter allocates per execution.
+namespace tsfm::graph {
+
+struct MemoryPlan {
+  /// Slot id per node; -1 for nodes that allocate nothing (input, params,
+  /// views) — their storage is the root's.
+  std::vector<int32_t> node_slot;
+  /// Capacity of each slot in floats (BufferPool bucket capacities).
+  std::vector<int64_t> slot_floats;
+  /// Total bytes of all slots: the interpreter's per-execution activation
+  /// footprint (graph.peak_bytes gauge).
+  int64_t planned_peak_bytes = 0;
+  /// What the same graph would allocate with no reuse (one buffer per
+  /// materializing node) — the baseline the plan is saving against.
+  int64_t unplanned_bytes = 0;
+};
+
+MemoryPlan PlanMemory(const Graph& graph);
+
+}  // namespace tsfm::graph
+
+#endif  // TSFM_GRAPH_PLANNER_H_

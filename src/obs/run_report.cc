@@ -116,6 +116,23 @@ std::string RenderRunReportJson(const RunReport& r) {
   AppendKeyNumber(&out, "heap_allocs", r.mem_heap_allocs);
   out += "},\n";
 
+  out += "\"execution\":{";
+  out += "\"graph_enabled\":";
+  out += r.graph_enabled ? "true" : "false";
+  out += ",";
+  AppendKeyString(&out, "embed_mode", r.embed_mode);
+  out += ",";
+  AppendKeyNumber(&out, "graph_captures", r.graph_captures);
+  out += ",";
+  AppendKeyNumber(&out, "graph_executions", r.graph_executions);
+  out += ",";
+  AppendKeyNumber(&out, "graph_eager_fallbacks", r.graph_eager_fallbacks);
+  out += ",";
+  AppendKeyNumber(&out, "graph_fused_ops", r.graph_fused_ops);
+  out += ",";
+  AppendKeyNumber(&out, "graph_peak_bytes", r.graph_peak_bytes);
+  out += "},\n";
+
   out += "\"result\":{";
   AppendKeyNumber(&out, "train_accuracy", r.train_accuracy);
   out += ",";

@@ -1,0 +1,22 @@
+#include "tensor/op_math.h"
+
+#include <cmath>
+
+// Out-of-line homes for the multi-operation scalar transcendentals shared by
+// the eager elementwise kernels and the graph interpreter. See op_math.h for
+// why these must have exactly one machine-code instance; noinline keeps a
+// future LTO build from re-inlining them into differently-contracted copies.
+namespace tsfm::ops::detail {
+
+__attribute__((noinline)) float GeluScalar(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  constexpr float kA = 0.044715f;
+  const float inner = kSqrt2OverPi * (x + kA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+__attribute__((noinline)) float SigmoidScalar(float x) {
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace tsfm::ops::detail

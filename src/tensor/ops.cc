@@ -7,10 +7,16 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "tensor/op_math.h"
 
 namespace tsfm {
 
 namespace {
+
+// Scalar math shared with the graph interpreter's fused loops; see
+// tensor/op_math.h for why these must be the single definition.
+using ops::detail::BroadcastViewStrides;
+using ops::detail::RowMajorStrides;
 
 // Work counters, one atomic add per *op call* (never per element): FLOPs
 // through the matmul kernel and bytes moved by elementwise/unary kernels.
@@ -41,21 +47,12 @@ constexpr int64_t kElementwiseGrain = 1 << 14;
 // determinism contract, so the value must not depend on the thread count.
 constexpr int64_t kReduceGrain = 1 << 16;
 
-// Row-major strides for `shape`.
-std::vector<int64_t> Strides(const Shape& shape) {
-  std::vector<int64_t> s(shape.size(), 1);
-  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
-    s[i] = s[i + 1] * shape[i + 1];
-  }
-  return s;
-}
-
 // Strides for reading `shape` as if broadcast to `out_shape` (0 stride on
 // broadcast dims). `shape` is right-aligned against `out_shape`. Used by
 // MatMul for its synthetic batch shapes, which are always dense.
 std::vector<int64_t> BroadcastStrides(const Shape& shape,
                                       const Shape& out_shape) {
-  const std::vector<int64_t> in_strides = Strides(shape);
+  const std::vector<int64_t> in_strides = RowMajorStrides(shape);
   std::vector<int64_t> out(out_shape.size(), 0);
   const int64_t offset =
       static_cast<int64_t>(out_shape.size()) - static_cast<int64_t>(shape.size());
@@ -63,30 +60,6 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
     const size_t oi = static_cast<size_t>(offset) + i;
     if (shape[i] == out_shape[oi]) {
       out[oi] = in_strides[i];
-    } else {
-      TSFM_CHECK_EQ(shape[i], 1)
-          << "broadcast mismatch " << ShapeToString(shape) << " vs "
-          << ShapeToString(out_shape);
-      out[oi] = 0;
-    }
-  }
-  return out;
-}
-
-// Strides for reading tensor `t` (which may itself be a strided view) as if
-// broadcast to `out_shape`: the view's actual strides on matching dims, 0 on
-// broadcast dims. Lets elementwise kernels consume views without
-// materializing them.
-std::vector<int64_t> ViewBroadcastStrides(const Tensor& t,
-                                          const Shape& out_shape) {
-  const Shape& shape = t.shape();
-  std::vector<int64_t> out(out_shape.size(), 0);
-  const int64_t offset =
-      static_cast<int64_t>(out_shape.size()) - static_cast<int64_t>(shape.size());
-  for (size_t i = 0; i < shape.size(); ++i) {
-    const size_t oi = static_cast<size_t>(offset) + i;
-    if (shape[i] == out_shape[oi]) {
-      out[oi] = t.strides()[i];
     } else {
       TSFM_CHECK_EQ(shape[i], 1)
           << "broadcast mismatch " << ShapeToString(shape) << " vs "
@@ -122,9 +95,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   m.elementwise_bytes->Add(static_cast<uint64_t>(
       (a.numel() + b.numel() + NumElements(out_shape)) * sizeof(float)));
   Tensor out = Tensor::Empty(out_shape);
-  const auto sa = ViewBroadcastStrides(a, out_shape);
-  const auto sb = ViewBroadcastStrides(b, out_shape);
-  const auto so = Strides(out_shape);
+  const auto sa = BroadcastViewStrides(a, out_shape);
+  const auto sb = BroadcastViewStrides(b, out_shape);
+  const auto so = RowMajorStrides(out_shape);
   const int64_t nd = static_cast<int64_t>(out_shape.size());
   const float* pa = a.base();
   const float* pb = b.base();
@@ -164,7 +137,7 @@ Tensor UnaryOp(const Tensor& t, F f) {
   // Strided view input: gather through the view's strides.
   const float* p = t.base();
   const auto& st = t.strides();
-  const auto so = Strides(t.shape());
+  const auto so = RowMajorStrides(t.shape());
   const int64_t nd = t.ndim();
   runtime::ParallelFor(
       0, t.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
@@ -288,17 +261,13 @@ Tensor Tanh(const Tensor& t) {
   return UnaryOp(t, [](float x) { return std::tanh(x); });
 }
 Tensor Sigmoid(const Tensor& t) {
-  return UnaryOp(t, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return UnaryOp(t, [](float x) { return ops::detail::SigmoidScalar(x); });
 }
 Tensor Relu(const Tensor& t) {
-  return UnaryOp(t, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return UnaryOp(t, [](float x) { return ops::detail::ReluScalar(x); });
 }
 Tensor Gelu(const Tensor& t) {
-  constexpr float kSqrt2OverPi = 0.7978845608028654f;
-  return UnaryOp(t, [](float x) {
-    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
-  });
+  return UnaryOp(t, [](float x) { return ops::detail::GeluScalar(x); });
 }
 Tensor Abs(const Tensor& t) {
   return UnaryOp(t, [](float x) { return std::fabs(x); });
@@ -379,20 +348,60 @@ void MatMulRowRange(const float* pa, const float* pb, float* po, int64_t r0,
   }
 }
 
-}  // namespace
+// C[r0:r1, :] = A[r0:r1, :] x B^T for one (m, k) x (n, k) problem: `pb`
+// holds the *untransposed* B, read strided along its rows. The loop nest is
+// a line-for-line mirror of MatMulRowRange — same tile shape, same nesting,
+// same accumulator layout — with only the B addressing changed. That is a
+// determinism requirement, not a style choice: under -ffp-contract=fast the
+// compiler fuses mul+add per accumulation step, and only a structurally
+// identical nest is guaranteed to contract identically, which is what makes
+// folding a TransposeLast2 into the matmul bit-exact against the eager
+// MatMul-on-packed-B^T path (guarded by the graph pass property test).
+void MatMulTransBRowRange(const float* pa, const float* pb, float* po,
+                          int64_t r0, int64_t r1, int64_t k, int64_t n) {
+  for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+    const int64_t mr = std::min<int64_t>(kMr, r1 - i0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const int64_t nr = std::min<int64_t>(kNr, n - j0);
+      float acc[kMr * kNr] = {0.0f};
+      if (mr == kMr && nr == kNr) {
+        // Full tile: fixed trip counts, fully unrolled and vectorized.
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* bcol = pb + kk;  // element jj of this k-slice: bcol[(j0+jj)*k]
+          for (int ii = 0; ii < kMr; ++ii) {
+            const float av = pa[(i0 + ii) * k + kk];
+            for (int jj = 0; jj < kNr; ++jj) {
+              acc[ii * kNr + jj] += av * bcol[(j0 + jj) * k];
+            }
+          }
+        }
+      } else {
+        // Edge tile (m % kMr, n % kNr remainders).
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* bcol = pb + kk;
+          for (int64_t ii = 0; ii < mr; ++ii) {
+            const float av = pa[(i0 + ii) * k + kk];
+            for (int64_t jj = 0; jj < nr; ++jj) {
+              acc[ii * kNr + jj] += av * bcol[(j0 + jj) * k];
+            }
+          }
+        }
+      }
+      for (int64_t ii = 0; ii < mr; ++ii) {
+        float* crow = po + (i0 + ii) * n + j0;
+        for (int64_t jj = 0; jj < nr; ++jj) crow[jj] = acc[ii * kNr + jj];
+      }
+    }
+  }
+}
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  TSFM_TRACE_SPAN("tensor.matmul");
-  TSFM_CHECK_GE(a.ndim(), 2);
-  TSFM_CHECK_GE(b.ndim(), 2);
-  const int64_t m = a.dim(-2);
-  const int64_t k = a.dim(-1);
-  const int64_t k2 = b.dim(-2);
-  const int64_t n = b.dim(-1);
-  TSFM_CHECK_EQ(k, k2) << "matmul inner dims " << ShapeToString(a.shape())
-                       << " x " << ShapeToString(b.shape());
-
-  // The register-blocked kernel needs dense row-major operands; strided
+// Shared batched-GEMM driver for MatMulInto / MatMulTransBInto. `bn` and
+// `bk` are B's row count and row length as laid out in memory; `kernel`
+// computes one (m, k) x B problem for a row range of C.
+template <typename Kernel>
+void BatchedMatMul(const Tensor& a, const Tensor& b, Tensor* out, int64_t m,
+                   int64_t k, int64_t n, Kernel kernel) {
+  // The register-blocked kernels need dense row-major operands; strided
   // views (e.g. TransposeLast2 results) are packed once into pooled scratch
   // that is released as soon as the product is computed.
   const Tensor a_dense = a.Contiguous();
@@ -406,7 +415,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out = Tensor::Empty(out_shape);
+  TSFM_CHECK(out->shape() == out_shape)
+      << "matmul out " << ShapeToString(out->shape()) << " vs "
+      << ShapeToString(out_shape);
 
   OpMetrics& om = Metrics();
   om.matmul_calls->Add(1);
@@ -414,12 +425,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   const auto sa = BroadcastStrides(a_batch, batch);
   const auto sb = BroadcastStrides(b_batch, batch);
-  const auto sbatch = Strides(batch);
+  const auto sbatch = RowMajorStrides(batch);
   const int64_t nd = static_cast<int64_t>(batch.size());
+  const int64_t b_numel = b_dense.dim(-2) * b_dense.dim(-1);
 
   const float* pa0 = a_dense.data();
   const float* pb0 = b_dense.data();
-  float* po0 = out.mutable_data();
+  float* po0 = out->mutable_data();
 
   // One task per (batch, row-block); the grain keeps chunks above ~1 MFLOP
   // so small matmuls stay inline. Tasks write disjoint C row ranges, and the
@@ -445,13 +457,67 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
             ib += idx * sb[d];
           }
           const float* pa = pa0 + ia * m * k;
-          const float* pb = pb0 + ib * k * n;
+          const float* pb = pb0 + ib * b_numel;
           float* po = po0 + batch_idx * m * n;
           const int64_t r0 = block * kRowsPerBlock;
           const int64_t r1 = std::min(m, r0 + kRowsPerBlock);
-          MatMulRowRange(pa, pb, po, r0, r1, k, n);
+          kernel(pa, pb, po, r0, r1, k, n);
         }
       });
+}
+
+}  // namespace
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  TSFM_TRACE_SPAN("tensor.matmul");
+  TSFM_CHECK_GE(a.ndim(), 2);
+  TSFM_CHECK_GE(b.ndim(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t k2 = b.dim(-2);
+  const int64_t n = b.dim(-1);
+  TSFM_CHECK_EQ(k, k2) << "matmul inner dims " << ShapeToString(a.shape())
+                       << " x " << ShapeToString(b.shape());
+  BatchedMatMul(a, b, out, m, k, n, MatMulRowRange);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TSFM_CHECK_GE(a.ndim(), 2);
+  TSFM_CHECK_GE(b.ndim(), 2);
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape out_shape = BroadcastShapes(a_batch, b_batch);
+  out_shape.push_back(a.dim(-2));
+  out_shape.push_back(b.dim(-1));
+  Tensor out = Tensor::Empty(out_shape);
+  MatMulInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  TSFM_TRACE_SPAN("tensor.matmul");
+  TSFM_CHECK_GE(a.ndim(), 2);
+  TSFM_CHECK_GE(b.ndim(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t n = b.dim(-2);
+  const int64_t k2 = b.dim(-1);
+  TSFM_CHECK_EQ(k, k2) << "matmul_transb inner dims "
+                       << ShapeToString(a.shape()) << " x "
+                       << ShapeToString(b.shape()) << "^T";
+  BatchedMatMul(a, b, out, m, k, n, MatMulTransBRowRange);
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  TSFM_CHECK_GE(a.ndim(), 2);
+  TSFM_CHECK_GE(b.ndim(), 2);
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape out_shape = BroadcastShapes(a_batch, b_batch);
+  out_shape.push_back(a.dim(-2));
+  out_shape.push_back(b.dim(-2));
+  Tensor out = Tensor::Empty(out_shape);
+  MatMulTransBInto(a, b, &out);
   return out;
 }
 
@@ -490,9 +556,16 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   Shape out_shape = parts[0].shape();
   out_shape[static_cast<size_t>(axis)] = total;
   Tensor out = Tensor::Empty(out_shape);
+  ConcatInto(parts, axis, &out);
+  return out;
+}
+
+void ConcatInto(const std::vector<Tensor>& parts, int64_t axis, Tensor* out) {
+  TSFM_CHECK(!parts.empty());
+  axis = NormalizeAxis(axis, parts[0].ndim());
   int64_t outer, alen, inner;
-  SplitAroundAxis(out_shape, axis, &outer, &alen, &inner);
-  float* po = out.mutable_data();
+  SplitAroundAxis(out->shape(), axis, &outer, &alen, &inner);
+  float* po = out->mutable_data();
   int64_t offset = 0;
   for (const Tensor& p : parts) {
     const Tensor pd = p.Contiguous();
@@ -504,7 +577,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     }
     offset += plen;
   }
-  return out;
+  TSFM_CHECK_EQ(offset, alen);
 }
 
 Tensor TakeRows(const Tensor& t, const std::vector<int64_t>& rows) {
@@ -566,17 +639,17 @@ float MinAll(const Tensor& t) {
   return *std::min_element(p, p + td.numel());
 }
 
-Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
+void SumInto(const Tensor& t, int64_t axis, bool keepdim, Tensor* out) {
   TSFM_TRACE_SPAN("tensor.sum");
   Metrics().reduce_calls->Add(1);
   axis = NormalizeAxis(axis, t.ndim());
   const Tensor td = t.Contiguous();
   int64_t outer, len, inner;
   SplitAroundAxis(td.shape(), axis, &outer, &len, &inner);
-  Tensor out = Tensor::Empty(ReducedShape(td.shape(), axis, keepdim));
+  TSFM_CHECK(out->shape() == ReducedShape(td.shape(), axis, keepdim));
   const float* pi = td.data();
-  float* po = out.mutable_data();
-  std::fill(po, po + out.numel(), 0.0f);
+  float* po = out->mutable_data();
+  std::fill(po, po + out->numel(), 0.0f);
   // Parallel over `outer` only: each output element keeps its serial
   // ascending-l accumulation order, so results are bit-identical to the
   // single-threaded loop.
@@ -591,6 +664,12 @@ Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
       }
     }
   });
+}
+
+Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
+  Tensor out = Tensor::Empty(
+      ReducedShape(t.shape(), NormalizeAxis(axis, t.ndim()), keepdim));
+  SumInto(t, axis, keepdim, &out);
   return out;
 }
 
@@ -648,31 +727,27 @@ std::vector<int64_t> ArgMaxLast(const Tensor& t) {
   return out;
 }
 
-Tensor Softmax(const Tensor& t) {
+void SoftmaxInto(const Tensor& t, Tensor* out) {
   TSFM_TRACE_SPAN("tensor.softmax");
   TSFM_CHECK_GE(t.ndim(), 1);
   const Tensor td = t.Contiguous();
   const int64_t len = td.dim(-1);
   const int64_t outer = td.numel() / len;
-  Tensor out = Tensor::Empty(td.shape());
+  TSFM_CHECK(out->shape() == td.shape());
   const float* pi = td.data();
-  float* po = out.mutable_data();
+  float* po = out->mutable_data();
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
   runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
-      const float* row = pi + o * len;
-      float* orow = po + o * len;
-      const float mx = *std::max_element(row, row + len);
-      float denom = 0.0f;
-      for (int64_t i = 0; i < len; ++i) {
-        orow[i] = std::exp(row[i] - mx);
-        denom += orow[i];
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t i = 0; i < len; ++i) orow[i] *= inv;
+      ops::detail::SoftmaxRow(pi + o * len, po + o * len, len);
     }
   });
+}
+
+Tensor Softmax(const Tensor& t) {
+  Tensor out = Tensor::Empty(t.shape());
+  SoftmaxInto(t, &out);
   return out;
 }
 
@@ -689,13 +764,7 @@ Tensor LogSoftmax(const Tensor& t) {
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
   runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
-      const float* row = pi + o * len;
-      float* orow = po + o * len;
-      const float mx = *std::max_element(row, row + len);
-      float denom = 0.0f;
-      for (int64_t i = 0; i < len; ++i) denom += std::exp(row[i] - mx);
-      const float log_denom = std::log(denom) + mx;
-      for (int64_t i = 0; i < len; ++i) orow[i] = row[i] - log_denom;
+      ops::detail::LogSoftmaxRow(pi + o * len, po + o * len, len);
     }
   });
   return out;

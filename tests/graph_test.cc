@@ -1,0 +1,371 @@
+// Graph IR: capture, pass pipeline, memory planner, interpreter.
+//
+// The load-bearing property is bit-identity: with graph mode on, every
+// no-grad encoder forward must produce the SAME BYTES as the eager forward,
+// at every thread count, after every pass. Most tests here memcmp raw float
+// buffers; a single ULP of drift fails loudly.
+
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "finetune/finetune.h"
+#include "graph/executor.h"
+#include "graph/ir.h"
+#include "graph/passes.h"
+#include "graph/planner.h"
+#include "io/embed_cache.h"
+#include "models/moment.h"
+#include "models/vit.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+namespace fs = std::filesystem;
+
+using models::MomentModel;
+using models::MomentTestConfig;
+using models::VitModel;
+using models::VitTestConfig;
+
+constexpr int kThreadCounts[] = {1, 4, 8};
+
+nn::ForwardContext EvalCtx() { return nn::ForwardContext{false, nullptr}; }
+
+uint64_t CounterValue(const char* name) {
+  return obs::Registry::Instance().GetCounter(name)->value();
+}
+
+void ExpectSameBits(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  const Tensor ad = a.Contiguous();
+  const Tensor bd = b.Contiguous();
+  EXPECT_EQ(std::memcmp(ad.data(), bd.data(),
+                        sizeof(float) * static_cast<size_t>(ad.numel())),
+            0)
+      << what;
+}
+
+// Restores the thread count after each test (several tests sweep it).
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = runtime::NumThreads(); }
+  void TearDown() override { runtime::SetNumThreads(saved_threads_); }
+
+  int saved_threads_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Capture
+
+TEST_F(GraphTest, CaptureRecordsEncoderForward) {
+  Rng rng(1);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({2, 32, 3}, &rng);
+  Result<graph::Graph> captured =
+      graph::Capture(x, [&](const ag::Var& in) {
+        return model.EncodeChannelsEager(in, EvalCtx());
+      });
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  const graph::Graph& g = captured.value();
+  EXPECT_GT(g.captured_ops, 0);
+  EXPECT_GT(static_cast<int64_t>(g.nodes.size()), g.captured_ops);  // + leaves
+  EXPECT_EQ(g.input, 0);
+  ASSERT_GE(g.output, 0);
+  EXPECT_EQ(g.nodes[static_cast<size_t>(g.output)].shape,
+            (Shape{2, MomentTestConfig().d_model}));
+}
+
+TEST_F(GraphTest, CaptureRejectsUnsupportedOpWithStatusNotAbort) {
+  Rng rng(2);
+  Tensor x = Tensor::RandN({4, 6}, &rng);
+  // LogSoftmax has no capture hook on purpose — it only appears in losses,
+  // which graph mode never replaces. Capture must latch Unimplemented (and
+  // must NOT crash), leaving the executor its eager fallback.
+  Result<graph::Graph> captured = graph::Capture(x, [](const ag::Var& in) {
+    return ag::LogSoftmax(ag::Relu(in));
+  });
+  ASSERT_FALSE(captured.ok());
+  EXPECT_EQ(captured.status().code(), StatusCode::kUnimplemented);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: graph vs eager
+
+TEST_F(GraphTest, MomentGraphMatchesEagerAtEveryThreadCount) {
+  Rng rng(3);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({3, 32, 2}, &rng);
+  ag::NoGradGuard guard;
+  const auto fwd = [&](const ag::Var& in) {
+    return model.EncodeChannelsEager(in, EvalCtx());
+  };
+  Tensor eager = fwd(ag::Constant(x)).value();
+
+  Result<graph::Graph> captured = graph::Capture(x, fwd);
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  graph::Graph g = std::move(captured).value();
+  graph::RunStandardPasses(&g);
+  const graph::MemoryPlan plan = graph::PlanMemory(g);
+  for (int threads : kThreadCounts) {
+    runtime::SetNumThreads(threads);
+    Tensor got = graph::Execute(g, plan, x);
+    ExpectSameBits(got, eager, "moment graph vs eager");
+  }
+}
+
+TEST_F(GraphTest, VitGraphMatchesEagerAtEveryThreadCount) {
+  Rng rng(4);
+  VitModel model(VitTestConfig(), &rng);
+  Tensor x = Tensor::RandN({2, 40, 3}, &rng);
+  ag::NoGradGuard guard;
+  const auto fwd = [&](const ag::Var& in) {
+    return model.EncodeChannelsEager(in, EvalCtx());
+  };
+  Tensor eager = fwd(ag::Constant(x)).value();
+
+  Result<graph::Graph> captured = graph::Capture(x, fwd);
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  graph::Graph g = std::move(captured).value();
+  graph::RunStandardPasses(&g);
+  const graph::MemoryPlan plan = graph::PlanMemory(g);
+  for (int threads : kThreadCounts) {
+    runtime::SetNumThreads(threads);
+    Tensor got = graph::Execute(g, plan, x);
+    ExpectSameBits(got, eager, "vit graph vs eager");
+  }
+}
+
+// Property test: every pass prefix of the standard pipeline preserves
+// bit-identity on randomized shapes. The synthetic forward deliberately
+// contains every fusable pattern: bias+GELU, longer elementwise chains,
+// transpose-fed matmul, broadcast operands, softmax and reductions.
+TEST_F(GraphTest, EveryPassPrefixPreservesBitIdentityOnRandomShapes) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t b = 1 + static_cast<int64_t>(rng.Uniform() * 3);
+    const int64_t m = 2 + static_cast<int64_t>(rng.Uniform() * 9);
+    const int64_t k = 2 + static_cast<int64_t>(rng.Uniform() * 9);
+    const int64_t n = 2 + static_cast<int64_t>(rng.Uniform() * 9);
+    Tensor x = Tensor::RandN({b, m, k}, &rng);
+    Tensor w1 = Tensor::RandN({k, n}, &rng);
+    Tensor bias = Tensor::RandN({n}, &rng);
+    Tensor w2 = Tensor::RandN({n, n}, &rng);
+    const auto fwd = [&](const ag::Var& in) {
+      ag::Var h = ag::MatMul(in, ag::Constant(w1));      // (b, m, n)
+      h = ag::Gelu(ag::Add(h, ag::Constant(bias)));      // bias_gelu pattern
+      h = ag::MatMul(h, ag::TransposeLast2(ag::Constant(w2)));  // fold pattern
+      h = ag::Scale(ag::AddScalar(ag::Tanh(h), 0.5f), 2.0f);    // eltwise chain
+      h = ag::Softmax(h);
+      h = ag::SumAxis(h, 1, /*keepdim=*/false);
+      return ag::Relu(h);
+    };
+    ag::NoGradGuard guard;
+    Tensor eager = fwd(ag::Constant(x)).value();
+    Result<graph::Graph> captured = graph::Capture(x, fwd);
+    ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+    const size_t num_passes = graph::StandardPasses().size();
+    for (size_t upto = 0; upto <= num_passes; ++upto) {
+      graph::Graph g = captured.value();  // fresh copy per prefix
+      graph::RunPassesUpTo(&g, upto);
+      const graph::MemoryPlan plan = graph::PlanMemory(g);
+      Tensor got = graph::Execute(g, plan, x);
+      ASSERT_EQ(got.shape(), eager.shape());
+      ASSERT_EQ(std::memcmp(got.Contiguous().data(), eager.data(),
+                            sizeof(float) * static_cast<size_t>(got.numel())),
+                0)
+          << "trial " << trial << " diverged after " << upto << " passes\n"
+          << g.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+
+TEST_F(GraphTest, PassesFuseAndShrinkTheEncoderGraph) {
+  Rng rng(6);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({2, 32, 2}, &rng);
+  Result<graph::Graph> captured =
+      graph::Capture(x, [&](const ag::Var& in) {
+        return model.EncodeChannelsEager(in, EvalCtx());
+      });
+  ASSERT_TRUE(captured.ok());
+  graph::Graph g = std::move(captured).value();
+  const size_t before = g.nodes.size();
+  graph::RunStandardPasses(&g);
+  EXPECT_LT(g.nodes.size(), before);
+  // At least one multi-stage fused loop must exist (the encoder has GELU
+  // after a bias add in every feed-forward block).
+  bool fused = false;
+  bool transb = false;
+  for (const graph::NodeDef& node : g.nodes) {
+    fused |= node.stages.size() >= 2;
+    transb |= node.kind == graph::OpKind::kMatMulTransB;
+  }
+  EXPECT_TRUE(fused) << g.ToString();
+  EXPECT_TRUE(transb) << g.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+
+TEST_F(GraphTest, PlannerReusesSlabsAndNeverBeatsUnplanned) {
+  Rng rng(7);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({2, 32, 2}, &rng);
+  Result<graph::Graph> captured =
+      graph::Capture(x, [&](const ag::Var& in) {
+        return model.EncodeChannelsEager(in, EvalCtx());
+      });
+  ASSERT_TRUE(captured.ok());
+  graph::Graph g = std::move(captured).value();
+  graph::RunStandardPasses(&g);
+  const graph::MemoryPlan plan = graph::PlanMemory(g);
+  EXPECT_GT(plan.planned_peak_bytes, 0);
+  EXPECT_LT(plan.planned_peak_bytes, plan.unplanned_bytes);
+  // Views and leaves never own a slot; materializing nodes the output
+  // depends on always do.
+  size_t materializing = 0;
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    const graph::NodeDef& node = g.nodes[i];
+    const bool is_view =
+        node.kind == graph::OpKind::kTransposeLast2 ||
+        node.kind == graph::OpKind::kPermute ||
+        node.kind == graph::OpKind::kSlice ||
+        (node.kind == graph::OpKind::kReshape && node.alias);
+    if (node.kind == graph::OpKind::kInput ||
+        node.kind == graph::OpKind::kParam || is_view) {
+      EXPECT_EQ(plan.node_slot[i], -1) << "node " << i;
+    } else {
+      ++materializing;
+    }
+  }
+  // Liveness-based reuse must need fewer slots than one-slab-per-node.
+  EXPECT_LT(plan.slot_floats.size(), materializing);
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+
+TEST_F(GraphTest, ExecutorCapturesOnceThenReplaysBitIdentically) {
+  Rng rng(8);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({2, 32, 2}, &rng);
+  ag::NoGradGuard guard;
+  Tensor eager = model.EncodeChannelsEager(ag::Constant(x), EvalCtx()).value();
+
+  graph::ScopedGraphMode mode(true);
+  const uint64_t exec_before = CounterValue("graph.executions");
+  // First call captures (and returns the capture forward's own result);
+  // second call replays the compiled plan.
+  Tensor first = model.EncodeChannels(ag::Constant(x), EvalCtx()).value();
+  Tensor second = model.EncodeChannels(ag::Constant(x), EvalCtx()).value();
+  ExpectSameBits(first, eager, "capture-call result");
+  ExpectSameBits(second, eager, "replay result");
+  EXPECT_NE(model.graph_executor().Lookup(x.shape()), nullptr);
+  EXPECT_GE(CounterValue("graph.executions"), exec_before + 1);
+
+  for (int threads : kThreadCounts) {
+    runtime::SetNumThreads(threads);
+    Tensor got = model.EncodeChannels(ag::Constant(x), EvalCtx()).value();
+    ExpectSameBits(got, eager, "replay across thread counts");
+  }
+}
+
+TEST_F(GraphTest, ExecutorFallsBackToEagerOnCaptureFailure) {
+  Rng rng(9);
+  Tensor x = Tensor::RandN({5, 7}, &rng);
+  ag::NoGradGuard guard;
+  graph::Executor executor;
+  const auto unsupported = [](const ag::Var& in) {
+    return ag::LogSoftmax(ag::Relu(in));
+  };
+  Tensor eager = unsupported(ag::Constant(x)).value();
+  const uint64_t failures_before = CounterValue("graph.capture_failures");
+  const uint64_t fallbacks_before = CounterValue("graph.eager_fallbacks");
+  Tensor first = executor.Run(x, unsupported);   // capture fails, eager result
+  Tensor second = executor.Run(x, unsupported);  // cached failure -> fallback
+  ExpectSameBits(first, eager, "failed-capture first call");
+  ExpectSameBits(second, eager, "cached-failure fallback");
+  EXPECT_EQ(CounterValue("graph.capture_failures"), failures_before + 1);
+  EXPECT_EQ(CounterValue("graph.eager_fallbacks"), fallbacks_before + 1);
+  auto compiled = executor.Lookup(x.shape());
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_FALSE(compiled->capture_status.ok());
+}
+
+TEST_F(GraphTest, GraphModeNeverHijacksGradientForwards) {
+  Rng rng(10);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({1, 32, 2}, &rng);
+  graph::ScopedGraphMode mode(true);
+  // Gradients enabled: EncodeChannels must stay on the eager tape-building
+  // path (a graph-mode Tensor result would silently sever backprop).
+  ag::Var input(x.Clone(), /*requires_grad=*/true);
+  ag::Var emb = model.EncodeChannels(input, EvalCtx());
+  ag::Var loss = ag::SumAll(emb);
+  loss.Backward();
+  EXPECT_GT(input.grad().numel(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Embedding cache interop
+
+TEST_F(GraphTest, EmbeddingCacheKeyIsIdenticalAcrossModes) {
+  Rng rng(11);
+  MomentModel model(MomentTestConfig(), &rng);
+  Tensor x = Tensor::RandN({6, 32, 2}, &rng);
+
+  const std::string dir =
+      std::string(::testing::TempDir()) + "graph_embed_cache";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  io::SetEmbedCacheDir(dir);
+
+  std::string mode;
+  Tensor eager_emb =
+      finetune::EmbedDatasetCached(model, x, /*batch_size=*/4, /*seed=*/1,
+                                   "graph_test", &mode);
+  EXPECT_EQ(mode, "eager");
+
+  graph::ScopedGraphMode graph_mode(true);
+  Tensor graph_emb =
+      finetune::EmbedDatasetCached(model, x, /*batch_size=*/4, /*seed=*/1,
+                                   "graph_test", &mode);
+  // The graph run must HIT the entry the eager run stored: the cache key is
+  // independent of execution mode because the bytes are identical.
+  EXPECT_EQ(mode, "cache");
+  ExpectSameBits(graph_emb, eager_emb, "cached embedding");
+
+  io::SetEmbedCacheDir("");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST_F(GraphTest, EmbedDatasetBitIdenticalWithGraphModeOn) {
+  Rng rng(12);
+  VitModel model(VitTestConfig(), &rng);
+  Tensor x = Tensor::RandN({5, 40, 3}, &rng);
+  Tensor eager_emb = finetune::EmbedDataset(model, x, /*batch_size=*/2,
+                                            /*seed=*/3);
+  graph::ScopedGraphMode mode(true);
+  for (int threads : kThreadCounts) {
+    runtime::SetNumThreads(threads);
+    Tensor graph_emb = finetune::EmbedDataset(model, x, /*batch_size=*/2,
+                                              /*seed=*/3);
+    ExpectSameBits(graph_emb, eager_emb, "EmbedDataset graph vs eager");
+  }
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -8,7 +8,13 @@ the JSON the job just produced. Two kinds of gates:
   * real_time on watched benchmarks must not regress more than
     --max-regression (fractional, default 0.15);
   * the pooled-allocator benchmark (BM_FineTuneInnerLoopAlloc/1) must keep
-    heap_allocs_per_iter at 0 — the BufferPool's whole point.
+    heap_allocs_per_iter at 0 — the BufferPool's whole point;
+  * candidate-internal paired gates: BM_EncoderForwardGraph must run at
+    least 10% faster than BM_EncoderForwardEager and not exceed its
+    peak_bytes counter. Unlike the baseline-relative gates, a missing pair
+    member FAILS — the graph-mode speedup is an acceptance criterion, not
+    an optional benchmark. Paired gates only fire when at least one member
+    is present in the candidate, so micro-kernel-only runs are unaffected.
 
 Benchmarks present in only one file are reported but never fail the gate, so
 adding or renaming a benchmark does not require touching the baseline in the
@@ -34,6 +40,18 @@ WATCHED_PREFIXES = (
 COUNTER_LIMITS = {
     "BM_FineTuneInnerLoopAlloc/1": ("heap_allocs_per_iter", 0.0),
 }
+
+# (fast, slow, max_time_ratio, counter): candidate-internal invariants.
+# fast.real_time must be <= max_time_ratio * slow.real_time, and
+# fast.counter <= slow.counter. Checked whenever either member appears in
+# the candidate run; a half-present or half-instrumented pair fails.
+# The ViT pair's time ratio is looser: its forward is matmul-dominated, so
+# the graph win is smaller and noisier — the gate only insists graph mode is
+# never a slowdown there.
+PAIRED_GATES = (
+    ("BM_EncoderForwardGraph", "BM_EncoderForwardEager", 0.90, "peak_bytes"),
+    ("BM_VitForwardGraph", "BM_VitForwardEager", 1.00, "peak_bytes"),
+)
 
 
 def load_benchmarks(path):
@@ -99,6 +117,35 @@ def main():
                 f"limit {args.max_regression * 100:.0f}%)")
         rows.append((name, f"{(ratio - 1.0) * 100:+6.1f}%",
                      verdict if gated else "untracked"))
+
+    for fast, slow, max_ratio, counter in PAIRED_GATES:
+        if fast not in cand and slow not in cand:
+            continue  # pair not exercised by this run
+        if fast not in cand or slow not in cand:
+            failures.append(
+                f"paired gate {fast} vs {slow}: only "
+                f"{'fast' if fast in cand else 'slow'} member present")
+            continue
+        ft, st = cand[fast].get("real_time"), cand[slow].get("real_time")
+        if not ft or not st:
+            failures.append(f"paired gate {fast} vs {slow}: missing real_time")
+            continue
+        ratio = ft / st
+        if ratio > max_ratio:
+            failures.append(
+                f"{fast}: real_time {ft:.1f} is {ratio:.2f}x of {slow} "
+                f"({st:.1f}); required <= {max_ratio:.2f}x")
+        else:
+            rows.append((fast, f"{ratio:.2f}x of {slow.split('_')[-1]}", "ok"))
+        fb, sb = cand[fast].get(counter), cand[slow].get(counter)
+        if fb is None or sb is None:
+            failures.append(
+                f"paired gate {fast} vs {slow}: counter {counter} missing")
+        elif fb > sb:
+            failures.append(
+                f"{fast}: {counter} = {fb:g} exceeds {slow}'s {sb:g}")
+        else:
+            rows.append((fast, f"{counter} {fb:g} <= {sb:g}", "ok"))
 
     for name, (counter, limit) in COUNTER_LIMITS.items():
         if name not in cand:

@@ -49,6 +49,18 @@ MEMORY_FIELDS = {
     "heap_allocs": NUMBER,
 }
 
+EXECUTION_FIELDS = {
+    "graph_enabled": bool,
+    "embed_mode": str,
+    "graph_captures": NUMBER,
+    "graph_executions": NUMBER,
+    "graph_eager_fallbacks": NUMBER,
+    "graph_fused_ops": NUMBER,
+    "graph_peak_bytes": NUMBER,
+}
+
+EMBED_MODES = {"graph", "eager", "cache"}
+
 RESULT_FIELDS = {
     "train_accuracy": NUMBER,
     "test_accuracy": NUMBER,
@@ -102,6 +114,7 @@ def validate(report, errors):
         "options",
         "epochs",
         "measured_memory",
+        "execution",
         "result",
         "budget",
     ):
@@ -149,6 +162,21 @@ def validate(report, errors):
     ):
         if mem["pool_hits"] > mem["acquires"]:
             errors.append("measured_memory: pool_hits > acquires")
+
+    check_fields(report["execution"], EXECUTION_FIELDS, "execution", errors)
+    execution = report["execution"]
+    if isinstance(execution, dict):
+        mode = execution.get("embed_mode")
+        if mode not in EMBED_MODES:
+            errors.append(f"execution.embed_mode: unknown mode {mode!r}")
+        # Eager runs record no graph activity; graph runs that embedded
+        # anything must have captured or replayed at least one plan.
+        if execution.get("graph_enabled") is False:
+            for key in ("graph_captures", "graph_executions"):
+                if execution.get(key):
+                    errors.append(
+                        f"execution.{key}: nonzero with graph_enabled false"
+                    )
 
     check_fields(report["result"], RESULT_FIELDS, "result", errors)
     result = report["result"]

@@ -34,6 +34,10 @@
 //                        frozen-encoder embed passes are served from disk
 //                        (same as TSFM_CACHE_DIR; watch cache.hit/cache.miss
 //                        in --metrics output)
+//   --graph              run no-grad encoder forwards through the captured
+//                        graph IR (fused kernels + planned activation
+//                        memory); bit-identical to eager, usually faster
+//                        (same as TSFM_GRAPH=1; watch graph.* in --metrics)
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +51,7 @@
 #include "io/embed_cache.h"
 #include "data/uea_like.h"
 #include "finetune/classifier.h"
+#include "graph/executor.h"
 #include "obs/budget.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -70,6 +75,8 @@ ArgMap ParseArgs(int argc, char** argv, int start) {
     // --metrics and --report take an optional value.
     if (std::strcmp(argv[i], "--full") == 0) {
       args["full"] = "1";
+    } else if (std::strcmp(argv[i], "--graph") == 0) {
+      args["graph"] = "1";
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       args["metrics"] = next_is_value ? argv[++i] : "stderr";
     } else if (std::strcmp(argv[i], "--report") == 0) {
@@ -331,7 +338,7 @@ int Usage() {
                "       [--trace out.json] [--profile out.txt|.json|.folded]\n"
                "       [--metrics [dest]] [--report [dir]] [--threads N]\n"
                "       [--mem-budget BYTES[K|M|G]] [--time-budget SECONDS]\n"
-               "       [--cache-dir DIR]\n"
+               "       [--cache-dir DIR] [--graph]\n"
                "see the header of tools/tsfm_cli.cc for details\n");
   return 1;
 }
@@ -370,6 +377,8 @@ int Main(int argc, char** argv) {
       !cache_dir.empty()) {
     io::SetEmbedCacheDir(cache_dir);
   }
+
+  if (GetOr(args, "graph", "") == "1") graph::SetGraphMode(true);
 
   const std::string trace_path = GetOr(args, "trace", "");
   const std::string profile_path = GetOr(args, "profile", "");
