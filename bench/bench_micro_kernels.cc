@@ -4,12 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "autograd/ops.h"
 #include "common/rng.h"
+#include "data/uea_like.h"
+#include "finetune/classifier.h"
 #include "linalg/linalg.h"
 #include "memory/buffer_pool.h"
 #include "models/head.h"
 #include "optim/optim.h"
+#include "pipeline/session.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -178,6 +184,70 @@ void BM_FineTuneInnerLoopAlloc(benchmark::State& state) {
   pool.SetEnabledForTesting(ambient_enabled);
 }
 BENCHMARK(BM_FineTuneInnerLoopAlloc)->Arg(1)->Arg(0);
+
+// End-to-end serving latency through a fitted InferenceSession: normalize +
+// adapter transform + frozen-encoder forward + head, on a test-scale ViT so
+// the gate tracks the whole predict path, not one kernel. The fixture fits
+// once per process and is shared across the single/batch variants.
+struct PredictFixture {
+  data::DatasetPair pair;
+  finetune::TsfmClassifier classifier;
+  std::shared_ptr<const pipeline::InferenceSession> session;
+  Tensor one;      // (1, T, D)
+  Tensor batch32;  // (32, T, D)
+};
+
+const PredictFixture& SharedPredictFixture() {
+  static const PredictFixture* fixture = [] {
+    data::UeaDatasetSpec spec{"bench_pred", "bp", 64, 40, 8, 32, 2, 3};
+    auto pair = data::GenerateUeaLike(spec, 11, data::GeneratorCaps{});
+    finetune::ClassifierConfig config;
+    config.model_kind = models::ModelKind::kVit;
+    config.model_config = models::VitTestConfig();
+    config.pretrain.corpus_size = 48;
+    config.pretrain.series_length = 32;
+    config.pretrain.epochs = 1;
+    config.finetune.head_epochs = 8;
+    config.adapter_options.out_channels = 3;
+    auto clf = finetune::TsfmClassifier::Create(config);
+    if (!clf.ok()) {
+      std::fprintf(stderr, "predict fixture: %s\n",
+                   clf.status().ToString().c_str());
+      std::abort();
+    }
+    if (auto s = clf->Fit(pair.train, &pair.test); !s.ok()) {
+      std::fprintf(stderr, "predict fixture: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    auto* f = new PredictFixture{std::move(pair), std::move(*clf), nullptr,
+                                 Tensor(), Tensor()};
+    f->session = f->classifier.session();
+    f->one = Slice(f->pair.test.x, 0, 0, 1).Contiguous();
+    f->batch32 = Slice(f->pair.test.x, 0, 0, 32).Contiguous();
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_PredictSingle(benchmark::State& state) {
+  const PredictFixture& f = SharedPredictFixture();
+  for (auto _ : state) {
+    auto label = f.session->Predict(f.one);
+    benchmark::DoNotOptimize(label.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictSingle);
+
+void BM_PredictBatch32(benchmark::State& state) {
+  const PredictFixture& f = SharedPredictFixture();
+  for (auto _ : state) {
+    auto labels = f.session->PredictBatch(f.batch32);
+    benchmark::DoNotOptimize(labels.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PredictBatch32);
 
 // Parallel speedup of the 512^3 matmul across pool sizes. Registered last
 // (and restoring the ambient thread count per run) so the pool-size sweep

@@ -246,7 +246,7 @@ Result<RunRecord> ExperimentRunner::Run(const RunSpec& spec) {
     ft.on_epoch = [&report](const finetune::EpochProgress& p) {
       obs::RunReportEpoch e;
       e.epoch = p.epoch;
-      e.phase = p.phase;
+      e.phase = finetune::PhaseName(p.phase);
       e.loss = p.loss;
       e.accuracy = p.accuracy;
       e.seconds = p.seconds;
@@ -272,6 +272,9 @@ Result<RunRecord> ExperimentRunner::Run(const RunSpec& spec) {
     report.mem_heap_allocs = static_cast<double>(mem.heap_allocs);
     report.graph_enabled = measured->graph_enabled;
     report.embed_mode = measured->embed_mode;
+    for (const auto& t : measured->stage_timings) {
+      report.stages.push_back(obs::RunReportStage{t.stage, t.seconds});
+    }
     report.train_accuracy = measured->train_accuracy;
     report.test_accuracy = measured->test_accuracy;
     report.final_loss = measured->final_loss;

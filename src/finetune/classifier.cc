@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <sstream>
 #include <utility>
 
-#include "core/io_util.h"
-#include "io/artifact.h"
-#include "nn/serialize.h"
 #include "obs/budget.h"
 #include "obs/metrics.h"
+#include "pipeline/registry.h"
 #include "resources/cost_model.h"
 #include "resources/measured.h"
 #include "tensor/ops.h"
@@ -17,11 +14,6 @@
 namespace tsfm::finetune {
 
 namespace {
-
-// Normalization-statistics file: two tensors (mean, std) inside the
-// integrity-checked artifact container.
-constexpr uint64_t kStatsMagic = 0x3241545345465354ULL;  // "TSFESTA2"
-constexpr uint32_t kStatsVersion = 2;
 
 // JSON literals for RunReport::options (the report writer emits values
 // verbatim, so numbers stay typed without a JSON library).
@@ -99,14 +91,35 @@ Result<TsfmClassifier> TsfmClassifier::Create(const ClassifierConfig& config) {
   return classifier;
 }
 
+Status TsfmClassifier::RefreshSession() {
+  pipeline::SessionOptions session_options;
+  session_options.normalize = config_.finetune.normalize;
+  session_options.batch_size = config_.finetune.batch_size;
+  session_options.seed = config_.finetune.seed;
+  TSFM_ASSIGN_OR_RETURN(
+      session_, pipeline::InferenceSession::Create(model_, adapter_, head_,
+                                                   stats_, num_classes_,
+                                                   session_options));
+  return Status::OK();
+}
+
 Status TsfmClassifier::Fit(const data::TimeSeriesDataset& train,
                            const data::TimeSeriesDataset* valid) {
   TSFM_RETURN_IF_ERROR(data::Validate(train));
   stats_ = data::ComputeChannelStats(train);
 
+  // Fresh adapter and head every Fit: sessions handed out before this call
+  // keep serving the previous fitted state untouched.
+  if (config_.adapter.has_value()) {
+    adapter_ = core::CreateAdapter(*config_.adapter, config_.adapter_options);
+    if (adapter_ == nullptr) {
+      return Status::InvalidArgument("unknown adapter kind");
+    }
+  }
   Rng head_rng(config_.finetune.seed * 2654435761ULL + 13);
-  head_ = std::make_unique<models::ClassificationHead>(
+  head_ = std::make_shared<models::ClassificationHead>(
       model_->embedding_dim(), train.num_classes, &head_rng);
+  num_classes_ = train.num_classes;
 
   // FineTuneWithHead normalizes internally; we keep `stats_` only for
   // Predict-time preprocessing, so the two normalizations are identical by
@@ -143,7 +156,7 @@ Status TsfmClassifier::Fit(const data::TimeSeriesDataset& train,
   run_options.on_epoch = [&report, &user_on_epoch](const EpochProgress& p) {
     obs::RunReportEpoch e;
     e.epoch = p.epoch;
-    e.phase = p.phase;
+    e.phase = PhaseName(p.phase);
     e.loss = p.loss;
     e.accuracy = p.accuracy;
     e.seconds = p.seconds;
@@ -185,6 +198,9 @@ Status TsfmClassifier::Fit(const data::TimeSeriesDataset& train,
   report.adapter_fit_seconds = last_result_.adapter_fit_seconds;
   report.train_seconds = last_result_.train_seconds;
   report.total_seconds = last_result_.total_seconds;
+  for (const pipeline::StageTiming& t : last_result_.stage_timings) {
+    report.stages.push_back(obs::RunReportStage{t.stage, t.seconds});
+  }
   FillEstimate(config_, adapter_.get(), train, eval_split, &report);
   // Device-budget semantics: what had to fit is baseline (weights, cached
   // data) plus the run's peak on top of it.
@@ -202,35 +218,17 @@ Status TsfmClassifier::Fit(const data::TimeSeriesDataset& train,
     TSFM_ASSIGN_OR_RETURN(last_report_path_,
                           obs::WriteRunReport(last_report_, report_dir));
   }
+  TSFM_RETURN_IF_ERROR(RefreshSession());
   fitted_ = true;
   return Status::OK();
 }
 
 Result<std::vector<int64_t>> TsfmClassifier::Predict(const Tensor& x) const {
   if (!fitted_) return Status::FailedPrecondition("classifier not fitted");
-  if (x.ndim() != 3) {
-    return Status::InvalidArgument("Predict expects (N, T, D)");
-  }
-  ag::NoGradGuard guard;
-  Tensor input = x;
-  if (config_.finetune.normalize) {
-    input = Div(Sub(x, stats_.mean), stats_.std);
-  }
-  std::vector<int64_t> predictions;
-  predictions.reserve(static_cast<size_t>(x.dim(0)));
-  const int64_t batch = std::max<int64_t>(1, config_.finetune.batch_size);
-  Rng eval_rng(config_.finetune.seed + 99);
-  nn::ForwardContext ctx{/*training=*/false, &eval_rng};
-  for (int64_t start = 0; start < input.dim(0); start += batch) {
-    const int64_t end = std::min(input.dim(0), start + batch);
-    Tensor xb = Slice(input, 0, start, end);
-    ag::Var reduced = ag::Constant(xb);
-    if (adapter_ != nullptr) reduced = adapter_->TransformVar(reduced);
-    ag::Var emb = model_->EncodeChannels(reduced, ctx);
-    ag::Var logits = head_->Forward(emb);
-    for (int64_t p : ArgMaxLast(logits.value())) predictions.push_back(p);
-  }
-  return predictions;
+  // Delegation, not reimplementation: the session runs exactly the
+  // training-time preprocessing and evaluation loop, so facade and session
+  // predictions are bit-identical by construction.
+  return session_->PredictBatch(x);
 }
 
 Result<double> TsfmClassifier::Evaluate(
@@ -244,40 +242,25 @@ Status TsfmClassifier::Save(const std::string& prefix) const {
   if (!fitted_) {
     return Status::FailedPrecondition("cannot save an unfitted classifier");
   }
-  if (adapter_ != nullptr) {
-    TSFM_RETURN_IF_ERROR(core::SaveAdapter(*adapter_, config_.adapter_options,
-                                           prefix + ".adapter"));
-  }
-  TSFM_RETURN_IF_ERROR(nn::SaveCheckpoint(*head_, prefix + ".head"));
-  std::ostringstream os;
-  core::io::WriteTensor(&os, stats_.mean);
-  core::io::WriteTensor(&os, stats_.std);
-  if (!os) return Status::IoError("stats serialization failed");
-  return io::WriteArtifact(prefix + ".stats", kStatsMagic, kStatsVersion,
-                           os.str());
+  return pipeline::SaveFittedBundle(prefix, adapter_.get(),
+                                    config_.adapter_options, *head_, stats_);
 }
 
 Status TsfmClassifier::Load(const std::string& prefix, int64_t num_classes) {
-  if (num_classes <= 0) {
-    return Status::InvalidArgument("num_classes must be positive");
+  TSFM_ASSIGN_OR_RETURN(
+      pipeline::FittedBundle bundle,
+      pipeline::LoadFittedBundle(prefix, config_.adapter.has_value(),
+                                 model_->embedding_dim(), num_classes));
+  if (config_.adapter.has_value() &&
+      bundle.adapter->kind() != *config_.adapter) {
+    return Status::InvalidArgument(
+        "saved adapter kind does not match the classifier configuration");
   }
-  if (config_.adapter.has_value()) {
-    TSFM_ASSIGN_OR_RETURN(adapter_, core::LoadAdapter(prefix + ".adapter"));
-    if (adapter_->kind() != *config_.adapter) {
-      return Status::InvalidArgument(
-          "saved adapter kind does not match the classifier configuration");
-    }
-  }
-  Rng head_rng(0);  // weights are overwritten by the checkpoint below
-  head_ = std::make_unique<models::ClassificationHead>(
-      model_->embedding_dim(), num_classes, &head_rng);
-  TSFM_RETURN_IF_ERROR(nn::LoadCheckpoint(head_.get(), prefix + ".head"));
-  TSFM_ASSIGN_OR_RETURN(const std::string stats_payload,
-                        io::ReadArtifactPayload(prefix + ".stats", kStatsMagic,
-                                                kStatsVersion));
-  std::istringstream is(stats_payload);
-  TSFM_RETURN_IF_ERROR(core::io::ReadTensor(&is, &stats_.mean));
-  TSFM_RETURN_IF_ERROR(core::io::ReadTensor(&is, &stats_.std));
+  adapter_ = std::move(bundle.adapter);
+  head_ = std::move(bundle.head);
+  stats_ = std::move(bundle.stats);
+  num_classes_ = num_classes;
+  TSFM_RETURN_IF_ERROR(RefreshSession());
   fitted_ = true;
   last_result_ = FineTuneResult{};
   return Status::OK();

@@ -11,6 +11,7 @@
 #include "models/head.h"
 #include "models/pretrained.h"
 #include "obs/run_report.h"
+#include "pipeline/session.h"
 
 namespace tsfm::finetune {
 
@@ -38,9 +39,13 @@ struct ClassifierConfig {
 /// a downstream user adopts; the lower-level pieces stay available for
 /// research use.
 ///
-/// After `Fit`, the classifier owns the fitted adapter, the trained head and
-/// the training-set normalization statistics, so `Predict` applies exactly
-/// the training-time preprocessing.
+/// Since the pipeline refactor this is a facade over the pipeline layer:
+/// Fit drives the stage pipeline (via FineTuneWithHead), the fitted state is
+/// published as an immutable pipeline::InferenceSession, and Predict /
+/// Evaluate delegate to that session — so classifier predictions and session
+/// predictions are bit-identical by construction. `session()` hands the
+/// bundle out for concurrent serving; each Fit or Load publishes a fresh
+/// session and never mutates a previously handed-out one.
 class TsfmClassifier {
  public:
   /// Builds the pipeline: loads (or pretrains) the foundation model and
@@ -74,12 +79,20 @@ class TsfmClassifier {
   /// Null if the pipeline was configured without an adapter.
   const core::Adapter* adapter() const { return adapter_.get(); }
 
+  /// The immutable fitted bundle serving Predict: safe to share across
+  /// threads and to keep using after this classifier refits (a refit
+  /// publishes a new session; handed-out sessions are never mutated).
+  /// Null before Fit/Load.
+  std::shared_ptr<const pipeline::InferenceSession> session() const {
+    return session_;
+  }
+
   /// Persists the *fitted* pipeline state — adapter, trained head, and the
-  /// training-set normalization statistics — under `prefix` (three files:
-  /// `<prefix>.adapter` when an adapter is configured, `<prefix>.head`,
-  /// `<prefix>.stats`). The foundation-model weights are NOT duplicated;
-  /// they live in the checkpoint referenced by the config. Requires
-  /// fitted().
+  /// training-set normalization statistics — under `prefix` (three files
+  /// via the pipeline registry's artifact naming: `<prefix>.adapter` when an
+  /// adapter is configured, `<prefix>.head`, `<prefix>.stats`). The
+  /// foundation-model weights are NOT duplicated; they live in the
+  /// checkpoint referenced by the config. Requires fitted().
   Status Save(const std::string& prefix) const;
 
   /// Restores state written by `Save` into a classifier created with the
@@ -90,12 +103,17 @@ class TsfmClassifier {
  private:
   TsfmClassifier() = default;
 
+  /// Publishes the current fitted state as a fresh immutable session.
+  Status RefreshSession();
+
   ClassifierConfig config_;
   std::shared_ptr<models::FoundationModel> model_;
-  std::unique_ptr<core::Adapter> adapter_;
-  std::unique_ptr<models::ClassificationHead> head_;
+  std::shared_ptr<core::Adapter> adapter_;
+  std::shared_ptr<models::ClassificationHead> head_;
   data::ChannelStats stats_;
+  int64_t num_classes_ = 0;
   bool fitted_ = false;
+  std::shared_ptr<const pipeline::InferenceSession> session_;
   FineTuneResult last_result_;
   obs::RunReport last_report_;
   std::string last_report_path_;

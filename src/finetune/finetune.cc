@@ -1,17 +1,15 @@
 #include "finetune/finetune.h"
 
 #include <chrono>
-#include <cstdio>
 #include <memory>
+#include <utility>
 
+#include "common/check.h"
 #include "graph/executor.h"
-#include "io/embed_cache.h"
-#include "io/hash.h"
 #include "obs/budget.h"
-#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/optim.h"
-#include "resources/measured.h"
+#include "pipeline/pipeline.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -23,41 +21,6 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-// Training-loop telemetry: every epoch (head-only and joint alike) records
-// its wall-clock and throughput and publishes the running loss, so a
-// metrics snapshot taken mid-run answers "how fast and how converged".
-struct LoopMetrics {
-  obs::Counter* epochs;
-  obs::Counter* steps;
-  obs::Histogram* epoch_seconds;
-  obs::Gauge* last_loss;
-  obs::Gauge* samples_per_sec;
-  obs::Histogram* adapter_fit_seconds;
-};
-
-LoopMetrics& Metrics() {
-  auto& r = obs::Registry::Instance();
-  static LoopMetrics m{r.GetCounter("finetune.epochs"),
-                       r.GetCounter("finetune.steps"),
-                       r.GetHistogram("finetune.epoch_seconds"),
-                       r.GetGauge("finetune.last_loss"),
-                       r.GetGauge("finetune.samples_per_sec"),
-                       r.GetHistogram("adapter.fit_seconds")};
-  return m;
-}
-
-// Publishes one finished epoch: loss gauge, epoch timing histogram, and the
-// samples/s gauge the throughput regressions are judged by.
-void RecordEpoch(double seconds, double mean_loss, int64_t samples) {
-  LoopMetrics& m = Metrics();
-  m.epochs->Add(1);
-  m.epoch_seconds->Observe(seconds);
-  m.last_loss->Set(mean_loss);
-  if (seconds > 0.0) {
-    m.samples_per_sec->Set(static_cast<double>(samples) / seconds);
-  }
 }
 
 // Argmax predictions of a logits matrix (N, C).
@@ -74,75 +37,12 @@ int64_t CountCorrect(const Tensor& logits, const std::vector<int64_t>& yb) {
   return correct;
 }
 
-// Shared per-epoch bookkeeping: publishes the metrics, delivers the
-// progress callback (when installed), and polls the resource budget.
-Status FinishEpoch(const FineTuneOptions& options, const char* phase,
-                   int64_t epoch, int64_t total_epochs, double seconds,
-                   double mean_loss, int64_t correct, int64_t samples) {
-  RecordEpoch(seconds, mean_loss, samples);
-  if (options.on_epoch) {
-    EpochProgress progress;
-    progress.epoch = epoch;
-    progress.total_epochs = total_epochs;
-    progress.phase = phase;
-    progress.loss = mean_loss;
-    progress.accuracy =
-        samples > 0 ? static_cast<double>(correct) / samples : 0.0;
-    progress.seconds = seconds;
-    progress.pool_live_bytes = resources::CurrentLiveBytes();
-    progress.samples_per_sec =
-        seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
-    options.on_epoch(progress);
-  }
-  return obs::CheckBudget(phase[0] == 'h' ? "finetune.head_epoch"
-                                          : "finetune.joint_epoch");
-}
-
-// Trains a linear head on cached embeddings; returns final mean loss.
-Result<double> TrainHead(models::ClassificationHead* head,
-                         const Tensor& embeddings,  // (N, E)
-                         const std::vector<int64_t>& labels,
-                         const FineTuneOptions& options, Rng* rng) {
-  optim::AdamW opt(head->Parameters(), options.head_lr, 0.9f, 0.999f, 1e-8f,
-                   options.weight_decay);
-  double last = 0.0;
-  for (int64_t epoch = 0; epoch < options.head_epochs; ++epoch) {
-    TSFM_TRACE_SPAN("finetune.head_epoch");
-    const auto t_epoch = Clock::now();
-    auto batches =
-        data::MakeBatches(embeddings.dim(0), options.batch_size, rng);
-    double loss_sum = 0.0;
-    int64_t correct = 0;
-    for (const auto& idx : batches) {
-      Tensor xb = TakeRows(embeddings, idx);
-      std::vector<int64_t> yb;
-      yb.reserve(idx.size());
-      for (int64_t i : idx) yb.push_back(labels[static_cast<size_t>(i)]);
-      ag::Var logits = head->Forward(ag::Constant(xb));
-      ag::Var loss = ag::CrossEntropy(logits, yb);
-      loss.Backward();
-      opt.Step();
-      opt.ZeroGrad();
-      head->ZeroGrad();
-      loss_sum += loss.value()[0];
-      if (options.on_epoch) correct += CountCorrect(logits.value(), yb);
-    }
-    Metrics().steps->Add(batches.size());
-    last = loss_sum / static_cast<double>(batches.size());
-    TSFM_RETURN_IF_ERROR(FinishEpoch(options, "head", epoch,
-                                     options.head_epochs,
-                                     SecondsSince(t_epoch), last, correct,
-                                     embeddings.dim(0)));
-  }
-  return last;
-}
-
-double EvaluateOnEmbeddings(const models::ClassificationHead& head,
-                            const Tensor& embeddings,
-                            const data::TimeSeriesDataset& ds) {
-  ag::NoGradGuard guard;
-  ag::Var logits = head.Forward(ag::Constant(embeddings));
-  return data::Accuracy(Predict(logits.value()), ds);
+// Non-owning shared_ptr over a caller-owned object, so the Stage wrappers
+// (which hold shared ownership) can compose state the FineTune API still
+// receives as raw pointers. The stages live only within this call.
+template <typename T>
+std::shared_ptr<T> Unowned(T* ptr) {
+  return std::shared_ptr<T>(ptr, [](T*) {});
 }
 
 }  // namespace
@@ -161,78 +61,15 @@ const char* StrategyName(Strategy strategy) {
 
 Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
                     int64_t batch_size, uint64_t seed) {
-  TSFM_TRACE_SPAN("finetune.embed_dataset");
-  const int64_t n = x.dim(0);
-  const int64_t bs = std::max<int64_t>(1, batch_size);
-  const int64_t num_batches = (n + bs - 1) / bs;
-  std::vector<Tensor> chunks(static_cast<size_t>(num_batches));
-  // Batches are independent under the frozen encoder, so they embed in
-  // parallel; results land in per-batch slots and concatenate in batch
-  // order, so the output matches the serial loop exactly. The NoGradGuard
-  // (thread-local) and the inference Rng are per task: evaluation forward
-  // passes never consume randomness, so per-task re-seeding is equivalent
-  // to the former shared stream.
-  runtime::ParallelFor(0, num_batches, /*grain=*/1, [&](int64_t lo,
-                                                        int64_t hi) {
-    ag::NoGradGuard guard;
-    Rng rng(seed);
-    nn::ForwardContext ctx{/*training=*/false, &rng};
-    for (int64_t b = lo; b < hi; ++b) {
-      // Budget poll per batch: a long embed pass over a large dataset must
-      // abort at the cap, not after it. A tripped budget abandons the
-      // remaining batches; the caller sees it via CheckBudget and discards
-      // the partial result.
-      if (!obs::CheckBudget("finetune.embed_dataset").ok()) return;
-      const int64_t start = b * bs;
-      const int64_t end = std::min(n, start + bs);
-      Tensor xb = Slice(x, 0, start, end);
-      ag::Var emb = model.EncodeChannels(ag::Constant(xb), ctx);
-      chunks[static_cast<size_t>(b)] = emb.value();
-    }
-  });
-  if (obs::BudgetTripped()) return Tensor();
-  return Concat(chunks, 0);
+  return pipeline::EmbedDataset(model, x, batch_size, seed);
 }
 
 Tensor EmbedDatasetCached(const models::FoundationModel& model,
                           const Tensor& x, int64_t batch_size, uint64_t seed,
-                          const std::string& salt, std::string* mode) {
-  // The cache key is deliberately independent of execution mode: graph and
-  // eager runs are bit-identical, so they share entries (asserted by the CI
-  // smoke test that warms the cache eager and hits it with --graph).
-  const char* encoder_mode =
-      graph::GraphModeEnabled() ? "graph" : "eager";
-  if (mode != nullptr) *mode = encoder_mode;
-  if (!io::EmbedCacheEnabled()) {
-    return EmbedDataset(model, x, batch_size, seed);
-  }
-  // The encoder is frozen on this path, so the embedding is a pure function
-  // of the weights, the (normalized, adapter-transformed) input, and the
-  // batch split. Hash exactly those; the salt folds in strategy/adapter tags
-  // so unrelated pipelines can never share an entry even on a hash fluke.
-  io::HashBuilder key;
-  key.AddString("tsfm.embed.v2");
-  key.AddString(salt);
-  key.AddU64(static_cast<uint64_t>(batch_size));
-  for (const auto& [name, p] : model.NamedParameters()) {
-    key.AddString(name);
-    key.AddTensor(p.value());
-  }
-  key.AddTensor(x);
-  const std::string digest = key.HexDigest();
-  if (Result<Tensor> hit = io::EmbedCacheLookup(digest); hit.ok()) {
-    if (mode != nullptr) *mode = "cache";
-    return std::move(hit).value();
-  }
-  Tensor emb = EmbedDataset(model, x, batch_size, seed);
-  if (!obs::BudgetTripped() && emb.numel() > 0) {
-    if (Status s = io::EmbedCacheStore(digest, emb); !s.ok()) {
-      // A failed store never fails the run; the embedding is already here.
-      std::fprintf(stderr, "embed cache store failed: %s\n",
-                   s.ToString().c_str());
-    }
-  }
-  return emb;
+                          const std::string& salt, std::string* mode,
+                          const data::ChannelStats* stats) {
+  return pipeline::EmbedDatasetCached(model, x, batch_size, seed, salt, stats,
+                                      mode);
 }
 
 Result<FineTuneResult> FineTune(models::FoundationModel* model,
@@ -261,7 +98,6 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
     return Status::InvalidArgument("train/test splits are inconsistent");
   }
   TSFM_CHECK(head_ptr != nullptr);
-  models::ClassificationHead& head = *head_ptr;
   // The budget window covers this run only: clock restarted, allocator peak
   // rebased to the current live footprint (weights still count).
   obs::BeginBudgetRun();
@@ -270,23 +106,11 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   result.graph_enabled = graph::GraphModeEnabled();
   result.embed_mode = result.graph_enabled ? "graph" : "eager";
 
-  // 1. Normalize with train statistics.
-  data::TimeSeriesDataset train_n = train;
-  data::TimeSeriesDataset test_n = test;
-  if (options.normalize) {
-    const data::ChannelStats stats = data::ComputeChannelStats(train);
-    train_n = data::NormalizeWith(train, stats);
-    test_n = data::NormalizeWith(test, stats);
-  }
-
-  // 2. Fit the adapter on the training split.
-  const auto t_adapter = Clock::now();
-  if (adapter != nullptr) {
-    TSFM_TRACE_SPAN("finetune.adapter_fit");
-    TSFM_RETURN_IF_ERROR(adapter->Fit(train_n.x, train_n.y));
-    Metrics().adapter_fit_seconds->Observe(SecondsSince(t_adapter));
-  }
-  result.adapter_fit_seconds = SecondsSince(t_adapter);
+  auto norm = options.normalize ? std::make_shared<pipeline::NormalizeStage>()
+                                : nullptr;
+  auto adapt = adapter != nullptr
+                   ? std::make_shared<pipeline::AdaptStage>(Unowned(adapter))
+                   : nullptr;
 
   Rng rng(options.seed ^ 0x51A7E5ULL);
   (void)rng.Fork();  // head-init stream consumed by FineTune's wrapper
@@ -295,42 +119,83 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
   const bool encoder_in_loop =
       options.strategy == Strategy::kFullFineTune || learnable_adapter;
 
-  const auto t_train = Clock::now();
+  pipeline::ExecutionContext ctx;
+  ctx.batch_size = options.batch_size;
+  ctx.seed = options.seed;
+  ctx.timings = &result.stage_timings;
+  ctx.rng = &rng;
+  ctx.on_epoch = options.on_epoch;
+
   if (!encoder_in_loop) {
-    // Embed-once fast path: static adapter (or none) + frozen encoder.
-    Tensor train_x = train_n.x;
-    Tensor test_x = test_n.x;
-    if (adapter != nullptr) {
-      TSFM_ASSIGN_OR_RETURN(train_x, adapter->Transform(train_n.x));
-      TSFM_ASSIGN_OR_RETURN(test_x, adapter->Transform(test_n.x));
-    }
-    const std::string cache_salt =
-        std::string(StrategyName(options.strategy)) + "/" +
-        (adapter != nullptr ? adapter->name() : "no_adapter");
-    std::string train_mode, test_mode;
-    Tensor train_emb = EmbedDatasetCached(*model, train_x, options.batch_size,
-                                          options.seed + 1, cache_salt,
-                                          &train_mode);
-    TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
-    Tensor test_emb = EmbedDatasetCached(*model, test_x, options.batch_size,
-                                         options.seed + 2, cache_salt,
-                                         &test_mode);
-    TSFM_RETURN_IF_ERROR(obs::CheckBudget("finetune.embed_dataset"));
+    // Embed-once fast path: static adapter (or none) + frozen encoder. The
+    // whole path is one pipeline — normalize -> adapt -> embed -> head —
+    // fitted stage by stage on the training split, then applied as a fitted
+    // chain to the test split.
+    auto embed = std::make_shared<pipeline::EmbedStage>(
+        Unowned<const models::FoundationModel>(model));
+    auto head_stage = std::make_shared<pipeline::HeadStage>(
+        Unowned(head_ptr), model->embedding_dim(), train.num_classes,
+        pipeline::HeadTrainOptions{options.head_epochs, options.head_lr,
+                                   options.weight_decay});
+    pipeline::Pipeline pipe;
+    if (norm != nullptr) pipe.Add(norm);
+    if (adapt != nullptr) pipe.Add(adapt);
+    pipe.Add(embed).Add(head_stage);
+
+    ctx.allow_embed_cache = true;
+    ctx.cache_salt = std::string(StrategyName(options.strategy)) + "/" +
+                     (adapter != nullptr ? adapter->name() : "no_adapter");
+    ctx.cache_stats = norm != nullptr ? &norm->stats() : nullptr;
+
+    std::string train_mode = result.embed_mode;
+    std::string test_mode = result.embed_mode;
+    const auto t_train = Clock::now();
+    pipeline::ExecutionContext train_ctx = ctx;
+    train_ctx.seed = options.seed + 1;
+    train_ctx.embed_mode = &train_mode;
+    TSFM_ASSIGN_OR_RETURN(Tensor train_logits,
+                          pipe.FitTransform(train.x, train.y, train_ctx));
+    result.final_loss = head_stage->final_loss();
+    result.adapter_fit_seconds =
+        adapt != nullptr ? adapt->last_fit_seconds() : 0.0;
+    result.train_seconds = SecondsSince(t_train);
+    result.train_accuracy = data::Accuracy(Predict(train_logits), train);
+
+    pipeline::ExecutionContext test_ctx = ctx;
+    test_ctx.seed = options.seed + 2;
+    test_ctx.embed_mode = &test_mode;
+    TSFM_ASSIGN_OR_RETURN(Tensor test_logits, pipe.Apply(test.x, test_ctx));
+    result.test_accuracy = data::Accuracy(Predict(test_logits), test);
     // "cache" only when the encoder truly never ran for either split.
     result.embed_mode = (train_mode == "cache" && test_mode == "cache")
                             ? "cache"
                             : result.embed_mode;
-    TSFM_ASSIGN_OR_RETURN(
-        result.final_loss,
-        TrainHead(&head, train_emb, train_n.y, options, &rng));
-    result.train_seconds = SecondsSince(t_train);
-    result.train_accuracy = EvaluateOnEmbeddings(head, train_emb, train_n);
-    result.test_accuracy = EvaluateOnEmbeddings(head, test_emb, test_n);
     result.total_seconds = SecondsSince(t_start);
     return result;
   }
 
-  // 3. Joint loop: encoder in the training graph (lcomb and/or full FT).
+  // Joint loop: encoder in the training graph (lcomb and/or full FT). The
+  // prologue stages (normalize, adapter fit) still run as pipeline stages —
+  // same stats, same metrics, same timing sink — but each step then drives
+  // the encoder through the tape, which no embed-once stage can do.
+  models::ClassificationHead& head = *head_ptr;
+  data::TimeSeriesDataset train_n = train;
+  data::TimeSeriesDataset test_n = test;
+  if (norm != nullptr) {
+    pipeline::Pipeline prep;
+    prep.Add(norm);
+    TSFM_ASSIGN_OR_RETURN(train_n.x, prep.FitTransform(train.x, train.y, ctx));
+    TSFM_ASSIGN_OR_RETURN(test_n.x, prep.Apply(test.x, ctx));
+  }
+  if (adapt != nullptr) {
+    obs::TraceSpan span(adapt->name());
+    const auto t_adapter = Clock::now();
+    TSFM_RETURN_IF_ERROR(adapt->Fit(train_n.x, train_n.y, ctx));
+    result.adapter_fit_seconds = adapt->last_fit_seconds();
+    pipeline::AccumulateStageTiming(ctx.timings, adapt->name(),
+                                    SecondsSince(t_adapter));
+  }
+
   // Two parameter groups: the head keeps its (large) head_lr while the
   // adapter/encoder train at the smaller joint_lr — a single small lr
   // starves the randomly initialized head.
@@ -352,6 +217,7 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
                                               options.weight_decay);
   }
 
+  const auto t_train = Clock::now();
   double last = 0.0;
   for (int64_t epoch = 0; epoch < options.joint_epochs; ++epoch) {
     TSFM_TRACE_SPAN("finetune.joint_epoch");
@@ -365,10 +231,10 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
       std::vector<int64_t> yb;
       yb.reserve(idx.size());
       for (int64_t i : idx) yb.push_back(train_n.y[static_cast<size_t>(i)]);
-      nn::ForwardContext ctx{/*training=*/true, &rng};
+      nn::ForwardContext fwd{/*training=*/true, &rng};
       ag::Var input = ag::Constant(xb);
       if (adapter != nullptr) input = adapter->TransformVar(input);
-      ag::Var emb = model->EncodeChannels(input, ctx);
+      ag::Var emb = model->EncodeChannels(input, fwd);
       ag::Var logits = head.Forward(emb);
       ag::Var loss = ag::CrossEntropy(logits, yb);
       loss.Backward();
@@ -383,17 +249,16 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
       loss_sum += loss.value()[0];
       if (options.on_epoch) correct += CountCorrect(logits.value(), yb);
     }
-    Metrics().steps->Add(batches.size());
+    pipeline::RecordSteps(static_cast<int64_t>(batches.size()));
     last = loss_sum / static_cast<double>(batches.size());
-    TSFM_RETURN_IF_ERROR(FinishEpoch(options, "joint", epoch,
-                                     options.joint_epochs,
-                                     SecondsSince(t_epoch), last, correct,
-                                     train_n.size()));
+    TSFM_RETURN_IF_ERROR(pipeline::FinishEpoch(
+        options.on_epoch, pipeline::Phase::kJoint, epoch, options.joint_epochs,
+        SecondsSince(t_epoch), last, correct, train_n.size()));
   }
   result.final_loss = last;
   result.train_seconds = SecondsSince(t_train);
 
-  // 4. Evaluate end-to-end. Batches are independent under NoGrad, so they
+  // Evaluate end-to-end. Batches are independent under NoGrad, so they
   // run in parallel; per-batch predictions are stitched together in batch
   // order so the result matches the serial loop.
   auto evaluate = [&](const data::TimeSeriesDataset& ds) -> Result<double> {
@@ -406,14 +271,14 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
                                                           int64_t hi) {
       ag::NoGradGuard guard;
       Rng eval_rng(options.seed + 99);
-      nn::ForwardContext ctx{/*training=*/false, &eval_rng};
+      nn::ForwardContext fwd{/*training=*/false, &eval_rng};
       for (int64_t b = lo; b < hi; ++b) {
         const int64_t start = b * bs;
         const int64_t end = std::min(ds.size(), start + bs);
         Tensor xb = Slice(ds.x, 0, start, end);
         ag::Var input = ag::Constant(xb);
         if (adapter != nullptr) input = adapter->TransformVar(input);
-        ag::Var emb = model->EncodeChannels(input, ctx);
+        ag::Var emb = model->EncodeChannels(input, fwd);
         ag::Var logits = head.Forward(emb);
         batch_preds[static_cast<size_t>(b)] = Predict(logits.value());
       }

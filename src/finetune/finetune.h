@@ -9,6 +9,8 @@
 #include "data/dataset.h"
 #include "models/foundation_model.h"
 #include "models/head.h"
+#include "pipeline/stage.h"
+#include "pipeline/stages.h"
 
 namespace tsfm::finetune {
 
@@ -23,19 +25,13 @@ enum class Strategy { kHeadOnly, kAdapterPlusHead, kFullFineTune };
 
 const char* StrategyName(Strategy strategy);
 
-/// Snapshot of one finished training epoch, delivered to
-/// `FineTuneOptions::on_epoch`. Feeds the per-epoch timeline of run reports
-/// (obs::RunReport) and any caller-side progress display.
-struct EpochProgress {
-  int64_t epoch = 0;        // index within its phase
-  int64_t total_epochs = 0; // epochs this phase will run
-  const char* phase = "";   // "head" or "joint"
-  double loss = 0;          // mean training loss over the epoch
-  double accuracy = 0;      // training accuracy over the epoch's batches
-  double seconds = 0;       // wall-clock of the epoch
-  int64_t pool_live_bytes = 0;  // allocator capacity live at epoch end
-  double samples_per_sec = 0;
-};
+/// Epoch progress now lives in the pipeline layer (it is shared by every
+/// training loop); these aliases keep the historical finetune:: spellings
+/// working. `EpochProgress::phase` is a pipeline::Phase enum — use
+/// PhaseName(phase) where the old code compared the raw string.
+using pipeline::EpochProgress;
+using pipeline::Phase;
+using pipeline::PhaseName;
 
 /// Hyper-parameters of one fine-tuning run.
 struct FineTuneOptions {
@@ -56,7 +52,7 @@ struct FineTuneOptions {
   /// Invoked after every finished training epoch (head and joint phases
   /// alike). Must be cheap and must not mutate the model. Leave empty when
   /// no timeline is wanted — the loops then skip all progress bookkeeping.
-  std::function<void(const EpochProgress&)> on_epoch;
+  pipeline::EpochCallback on_epoch;
 };
 
 /// Outcome of a fine-tuning run on the scaled models (real measured numbers,
@@ -76,6 +72,9 @@ struct FineTuneResult {
   /// the encoder never executed. Surfaces in the run report's "execution"
   /// section.
   std::string embed_mode = "eager";
+  /// Wall-clock per pipeline stage (normalize/adapt/embed/head), aggregated
+  /// over the run's passes. Surfaces in the run report's "stages" section.
+  std::vector<pipeline::StageTiming> stage_timings;
 };
 
 /// Runs one fine-tuning experiment.
@@ -108,22 +107,26 @@ Result<FineTuneResult> FineTuneWithHead(models::FoundationModel* model,
 
 /// Embeds every sample of `ds` (already adapter-transformed) with the frozen
 /// encoder in `batch_size` chunks, without building a tape. Returns (N, E).
+/// Thin forwarder to pipeline::EmbedDataset (the implementation moved into
+/// the pipeline layer with the Stage refactor).
 Tensor EmbedDataset(const models::FoundationModel& model, const Tensor& x,
                     int64_t batch_size, uint64_t seed);
 
 /// `EmbedDataset` behind the content-addressed embedding cache
 /// (io::EmbedCache*). When a cache directory is configured (TSFM_CACHE_DIR
 /// or the CLI's --cache-dir), the key hashes the model's parameters, the
-/// adapter-transformed input tensor, the batch size and `salt` (strategy +
-/// adapter tag from the caller); a hit skips the encoder entirely and is
-/// bit-identical to the miss path. With the cache disabled this is exactly
-/// `EmbedDataset`. Results of budget-aborted embed passes are never stored.
-/// When `mode` is non-null it receives how the embedding was produced:
-/// "cache" on a hit, otherwise "graph"/"eager" per the current graph mode.
+/// adapter-transformed input tensor, the batch size, `salt` (strategy +
+/// adapter tag from the caller) and — when `stats` is non-null — the
+/// normalization statistics the input was produced with; a hit skips the
+/// encoder entirely and is bit-identical to the miss path. With the cache
+/// disabled this is exactly `EmbedDataset`. Results of budget-aborted embed
+/// passes are never stored. When `mode` is non-null it receives how the
+/// embedding was produced: "cache" on a hit, otherwise "graph"/"eager" per
+/// the current graph mode. Thin forwarder to pipeline::EmbedDatasetCached.
 Tensor EmbedDatasetCached(const models::FoundationModel& model,
                           const Tensor& x, int64_t batch_size, uint64_t seed,
-                          const std::string& salt,
-                          std::string* mode = nullptr);
+                          const std::string& salt, std::string* mode = nullptr,
+                          const data::ChannelStats* stats = nullptr);
 
 }  // namespace tsfm::finetune
 

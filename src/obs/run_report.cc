@@ -104,6 +104,19 @@ std::string RenderRunReportJson(const RunReport& r) {
   }
   out += "\n],\n";
 
+  out += "\"stages\":[";
+  first = true;
+  for (const RunReportStage& s : r.stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{";
+    AppendKeyString(&out, "stage", s.stage);
+    out += ",";
+    AppendKeyNumber(&out, "seconds", s.seconds);
+    out += "}";
+  }
+  out += "\n],\n";
+
   out += "\"measured_memory\":{";
   AppendKeyNumber(&out, "baseline_bytes", r.mem_baseline_bytes);
   out += ",";

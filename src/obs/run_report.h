@@ -21,6 +21,13 @@ struct RunReportEpoch {
   double pool_live_bytes = 0;  // allocator capacity live at epoch end
 };
 
+/// Wall-clock of one pipeline stage (normalize/adapt/embed/head) aggregated
+/// over a run's passes, for the report's per-stage timing section.
+struct RunReportStage {
+  std::string stage;
+  double seconds = 0;
+};
+
 /// Structured manifest of one fine-tune run: configuration, per-epoch
 /// timeline, measured allocator footprint, final result, the paper-scale
 /// resource prediction for the same (model, adapter, regime), and the budget
@@ -38,6 +45,10 @@ struct RunReport {
   std::vector<std::pair<std::string, std::string>> options;
 
   std::vector<RunReportEpoch> epochs;
+
+  /// Per-stage wall-clock of the run's pipeline passes; empty when the run
+  /// predates the pipeline layer or no timings were collected.
+  std::vector<RunReportStage> stages;
 
   // measured_memory: resources::MeasuredMemory of the run.
   double mem_baseline_bytes = 0;

@@ -1,0 +1,99 @@
+#include "pipeline/pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace tsfm::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void AccumulateStageTiming(std::vector<StageTiming>* timings,
+                           const char* stage, double seconds) {
+  if (timings == nullptr) return;
+  for (StageTiming& t : *timings) {
+    if (t.stage == stage) {
+      t.seconds += seconds;
+      return;
+    }
+  }
+  timings->push_back(StageTiming{stage, seconds});
+}
+
+Pipeline& Pipeline::Add(std::shared_ptr<Stage> stage) {
+  TSFM_CHECK(stage != nullptr);
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+bool Pipeline::fitted() const {
+  for (const auto& stage : stages_) {
+    if (!stage->fitted()) return false;
+  }
+  return true;
+}
+
+Result<Tensor> Pipeline::FitTransform(const Tensor& x,
+                                      const std::vector<int64_t>& y,
+                                      const ExecutionContext& ctx) {
+  Tensor cur = x;
+  for (const auto& stage : stages_) {
+    // Stage names have static storage duration (Stage::name contract), so
+    // handing them to the span tracker is safe.
+    obs::TraceSpan span(stage->name());
+    const auto t_stage = Clock::now();
+    TSFM_RETURN_IF_ERROR(stage->Fit(cur, y, ctx));
+    TSFM_ASSIGN_OR_RETURN(cur, stage->Apply(cur, ctx));
+    AccumulateStageTiming(ctx.timings, stage->name(), SecondsSince(t_stage));
+  }
+  return cur;
+}
+
+Result<Tensor> Pipeline::Apply(const Tensor& x,
+                               const ExecutionContext& ctx) const {
+  return ApplyPrefix(stages_.size(), x, ctx);
+}
+
+Result<Tensor> Pipeline::ApplyPrefix(size_t count, const Tensor& x,
+                                     const ExecutionContext& ctx) const {
+  Tensor cur = x;
+  const size_t n = count < stages_.size() ? count : stages_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Stage& stage = *stages_[i];
+    if (!stage.fitted()) {
+      return Status::FailedPrecondition(std::string("pipeline stage '") +
+                                        stage.name() + "' is not fitted");
+    }
+    obs::TraceSpan span(stage.name());
+    const auto t_stage = Clock::now();
+    TSFM_ASSIGN_OR_RETURN(cur, stage.Apply(cur, ctx));
+    AccumulateStageTiming(ctx.timings, stage.name(), SecondsSince(t_stage));
+  }
+  return cur;
+}
+
+std::vector<StageDescription> Pipeline::Describe() const {
+  std::vector<StageDescription> out;
+  out.reserve(stages_.size());
+  for (const auto& stage : stages_) {
+    StageDescription d;
+    d.name = stage->name();
+    d.signature = stage->ShapeSignature();
+    d.fitted = stage->fitted();
+    d.state_bytes = stage->FittedStateBytes();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace tsfm::pipeline

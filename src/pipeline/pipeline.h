@@ -1,0 +1,79 @@
+#ifndef TSFM_PIPELINE_PIPELINE_H_
+#define TSFM_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage.h"
+
+namespace tsfm::pipeline {
+
+/// One row of `Pipeline::Describe` / `InferenceSession::Describe`: what the
+/// `tsfm pipeline describe` surface prints per stage.
+struct StageDescription {
+  std::string name;
+  std::string signature;
+  bool fitted = false;
+  int64_t state_bytes = 0;
+};
+
+/// An ordered composition of stages owning the pipeline's fitted state.
+///
+/// The pipeline is the *training-side* composition: `FitTransform` fits each
+/// stage on the output of the stages before it, `Apply` runs the fitted
+/// chain. Every stage pass runs under a trace span named after the stage and
+/// accumulates wall-clock into `ExecutionContext::timings` (when set), so
+/// drivers get per-stage timing for free.
+///
+/// Move-only: stages are held by shared_ptr, and silently sharing fitted
+/// state between two pipelines is exactly the kind of aliasing this layer
+/// exists to remove.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Appends a stage; returns *this for chaining.
+  Pipeline& Add(std::shared_ptr<Stage> stage);
+
+  size_t size() const { return stages_.size(); }
+  Stage& stage(size_t i) { return *stages_[i]; }
+  const Stage& stage(size_t i) const { return *stages_[i]; }
+
+  /// True when every stage is fitted (an empty pipeline is fitted).
+  bool fitted() const;
+
+  /// Fits each stage on the running tensor, then applies it: stage k sees
+  /// the output of stages 0..k-1. Returns the output of the last stage.
+  Result<Tensor> FitTransform(const Tensor& x, const std::vector<int64_t>& y,
+                              const ExecutionContext& ctx);
+
+  /// Applies the fitted chain to `x`. Requires fitted().
+  Result<Tensor> Apply(const Tensor& x, const ExecutionContext& ctx) const;
+
+  /// Applies only the first `count` stages (e.g. everything up to the head
+  /// to obtain embeddings). `count` is clamped to size().
+  Result<Tensor> ApplyPrefix(size_t count, const Tensor& x,
+                             const ExecutionContext& ctx) const;
+
+  /// Per-stage summary for the `pipeline describe` surface.
+  std::vector<StageDescription> Describe() const;
+
+ private:
+  std::vector<std::shared_ptr<Stage>> stages_;
+};
+
+/// Adds `seconds` to the entry for `stage` in `timings` (appending one if the
+/// stage has no entry yet). No-op when `timings` is null. Exposed so drivers
+/// with hand-rolled loops (the joint fine-tune path) report timings through
+/// the same sink as pipeline passes.
+void AccumulateStageTiming(std::vector<StageTiming>* timings,
+                           const char* stage, double seconds);
+
+}  // namespace tsfm::pipeline
+
+#endif  // TSFM_PIPELINE_PIPELINE_H_

@@ -1,0 +1,80 @@
+#include "pipeline/progress.h"
+
+#include "obs/budget.h"
+#include "obs/metrics.h"
+#include "resources/measured.h"
+
+namespace tsfm::pipeline {
+
+namespace {
+
+// Training-loop telemetry: every epoch (head-only and joint alike) records
+// its wall-clock and throughput and publishes the running loss, so a
+// metrics snapshot taken mid-run answers "how fast and how converged".
+struct LoopMetrics {
+  obs::Counter* epochs;
+  obs::Counter* steps;
+  obs::Histogram* epoch_seconds;
+  obs::Gauge* last_loss;
+  obs::Gauge* samples_per_sec;
+  obs::Histogram* adapter_fit_seconds;
+};
+
+LoopMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static LoopMetrics m{r.GetCounter("finetune.epochs"),
+                       r.GetCounter("finetune.steps"),
+                       r.GetHistogram("finetune.epoch_seconds"),
+                       r.GetGauge("finetune.last_loss"),
+                       r.GetGauge("finetune.samples_per_sec"),
+                       r.GetHistogram("adapter.fit_seconds")};
+  return m;
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kHead:
+      return "head";
+    case Phase::kJoint:
+      return "joint";
+  }
+  return "unknown";
+}
+
+Status FinishEpoch(const EpochCallback& on_epoch, Phase phase, int64_t epoch,
+                   int64_t total_epochs, double seconds, double mean_loss,
+                   int64_t correct, int64_t samples) {
+  LoopMetrics& m = Metrics();
+  m.epochs->Add(1);
+  m.epoch_seconds->Observe(seconds);
+  m.last_loss->Set(mean_loss);
+  if (seconds > 0.0) {
+    m.samples_per_sec->Set(static_cast<double>(samples) / seconds);
+  }
+  if (on_epoch) {
+    EpochProgress progress;
+    progress.epoch = epoch;
+    progress.total_epochs = total_epochs;
+    progress.phase = phase;
+    progress.loss = mean_loss;
+    progress.accuracy =
+        samples > 0 ? static_cast<double>(correct) / samples : 0.0;
+    progress.seconds = seconds;
+    progress.pool_live_bytes = resources::CurrentLiveBytes();
+    progress.samples_per_sec =
+        seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
+    on_epoch(progress);
+  }
+  return obs::CheckBudget(phase == Phase::kHead ? "finetune.head_epoch"
+                                                : "finetune.joint_epoch");
+}
+
+void RecordSteps(int64_t steps) { Metrics().steps->Add(steps); }
+
+void RecordAdapterFit(double seconds) {
+  Metrics().adapter_fit_seconds->Observe(seconds);
+}
+
+}  // namespace tsfm::pipeline

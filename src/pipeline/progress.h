@@ -1,0 +1,51 @@
+#ifndef TSFM_PIPELINE_PROGRESS_H_
+#define TSFM_PIPELINE_PROGRESS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace tsfm::pipeline {
+
+/// Training phase of an epoch. An enum (not a raw string pointer) so stored
+/// progress records — run-report timelines outlive the training loop that
+/// produced them — can never dangle.
+enum class Phase { kHead, kJoint };
+
+/// Stable human-readable name ("head" / "joint"); static storage duration.
+const char* PhaseName(Phase phase);
+
+/// Snapshot of one finished training epoch, delivered to the `on_epoch`
+/// callback of a fine-tune run. Feeds the per-epoch timeline of run reports
+/// (obs::RunReport) and any caller-side progress display.
+struct EpochProgress {
+  int64_t epoch = 0;             // index within its phase
+  int64_t total_epochs = 0;      // epochs this phase will run
+  Phase phase = Phase::kHead;    // which loop produced the epoch
+  double loss = 0;               // mean training loss over the epoch
+  double accuracy = 0;           // training accuracy over the epoch's batches
+  double seconds = 0;            // wall-clock of the epoch
+  int64_t pool_live_bytes = 0;   // allocator capacity live at epoch end
+  double samples_per_sec = 0;
+};
+
+using EpochCallback = std::function<void(const EpochProgress&)>;
+
+/// Shared per-epoch bookkeeping for every training loop (HeadStage::Fit and
+/// the joint loop in finetune): publishes the finetune.* metrics, delivers
+/// the progress callback when installed, and polls the live resource budget
+/// — returns its ResourceExhausted when the run must stop.
+Status FinishEpoch(const EpochCallback& on_epoch, Phase phase, int64_t epoch,
+                   int64_t total_epochs, double seconds, double mean_loss,
+                   int64_t correct, int64_t samples);
+
+/// Bumps the finetune.steps counter by `steps` (one per optimizer step).
+void RecordSteps(int64_t steps);
+
+/// Observes one adapter fit into the adapter.fit_seconds histogram.
+void RecordAdapterFit(double seconds);
+
+}  // namespace tsfm::pipeline
+
+#endif  // TSFM_PIPELINE_PROGRESS_H_

@@ -222,7 +222,8 @@ TEST(FineTuneTest, EpochCallbackDeliversFullTimeline) {
   for (size_t i = 0; i < timeline.size(); ++i) {
     EXPECT_EQ(timeline[i].epoch, static_cast<int64_t>(i));
     EXPECT_EQ(timeline[i].total_epochs, 5);
-    EXPECT_STREQ(timeline[i].phase, "head");
+    EXPECT_EQ(timeline[i].phase, finetune::Phase::kHead);
+    EXPECT_STREQ(finetune::PhaseName(timeline[i].phase), "head");
     EXPECT_GE(timeline[i].accuracy, 0.0);
     EXPECT_LE(timeline[i].accuracy, 1.0);
     EXPECT_GT(timeline[i].seconds, 0.0);

@@ -34,6 +34,8 @@ import sys
 WATCHED_PREFIXES = (
     "BM_MatMulSquare/",
     "BM_FineTuneInnerLoopAlloc/",
+    "BM_PredictSingle",
+    "BM_PredictBatch32",
 )
 
 # name -> (counter, max allowed value) hard invariants on the candidate run.

@@ -41,6 +41,13 @@ EPOCH_FIELDS = {
     "pool_live_bytes": NUMBER,
 }
 
+STAGE_FIELDS = {
+    "stage": str,
+    "seconds": NUMBER,
+}
+
+STAGE_NAMES = {"normalize", "adapt", "embed", "head"}
+
 MEMORY_FIELDS = {
     "baseline_bytes": NUMBER,
     "peak_bytes": NUMBER,
@@ -113,6 +120,7 @@ def validate(report, errors):
         "run",
         "options",
         "epochs",
+        "stages",
         "measured_memory",
         "execution",
         "result",
@@ -153,6 +161,25 @@ def validate(report, errors):
                         f", expected {expect}"
                     )
                 last_by_phase[phase] = epoch["epoch"]
+
+    stages = report["stages"]
+    if not isinstance(stages, list):
+        errors.append("stages: expected a list")
+    else:
+        seen = set()
+        for i, stage in enumerate(stages):
+            check_fields(stage, STAGE_FIELDS, f"stages[{i}]", errors)
+            if not isinstance(stage, dict):
+                continue
+            name = stage.get("stage")
+            if name not in STAGE_NAMES:
+                errors.append(f"stages[{i}].stage: unknown stage {name!r}")
+            if name in seen:
+                errors.append(f"stages[{i}].stage: duplicate stage {name!r}")
+            seen.add(name)
+            seconds = stage.get("seconds")
+            if isinstance(seconds, NUMBER) and seconds < 0:
+                errors.append(f"stages[{i}].seconds: negative ({seconds})")
 
     check_fields(report["measured_memory"], MEMORY_FIELDS, "measured_memory",
                  errors)

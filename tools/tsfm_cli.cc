@@ -8,11 +8,19 @@
 //       Paper-scale V100 verdict (COM/TO/OK) with memory and time.
 //   tsfm classify --train a.csv --test b.csv [--model moment|vit]
 //                 [--adapter PCA|SVD|Rand_Proj|VAR|lcomb|lcomb_top_k|LDA|none]
-//                 [--dprime 5] [--checkpoint path]
-//       Fine-tune on your own CSV data and report accuracy.
+//                 [--dprime 5] [--checkpoint path] [--save prefix]
+//       Fine-tune on your own CSV data and report accuracy; --save
+//       persists the fitted bundle for `pipeline describe --prefix` /
+//       the pipeline registry.
 //   tsfm cache list|verify|clear [--cache-dir dir]
 //       Maintain the embedding cache: list entries, re-check every CRC,
 //       or delete all entries. Defaults to TSFM_CACHE_DIR.
+//   tsfm pipeline describe [--model moment|vit] [--adapter PCA|...|none]
+//                 [--dprime 5] [--classes 2] [--checkpoint path]
+//                 [--prefix saved_prefix]
+//       Print the composed stage list (name, in/out shape, fitted-state
+//       bytes) for a configuration, or — with --prefix — for a fitted
+//       bundle saved by classifier Save / the pipeline registry.
 //
 // Observability flags (valid with every command):
 //   --trace out.json     record trace spans and write chrome://tracing JSON
@@ -57,6 +65,10 @@
 #include "obs/profiler.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "models/pretrained.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/registry.h"
+#include "pipeline/stages.h"
 #include "resources/cost_model.h"
 #include "runtime/thread_pool.h"
 
@@ -209,6 +221,26 @@ int CmdEstimate(const ArgMap& args) {
   return est.verdict == resources::Verdict::kOk && verdict.fits() ? 0 : 2;
 }
 
+// Parses --adapter into the config; returns false on an unknown name.
+bool ParseAdapter(const std::string& adapter_name,
+                  finetune::ClassifierConfig* config) {
+  if (adapter_name == "none") {
+    config->adapter.reset();
+    return true;
+  }
+  for (auto kind :
+       {core::AdapterKind::kPca, core::AdapterKind::kSvd,
+        core::AdapterKind::kRandProj, core::AdapterKind::kVar,
+        core::AdapterKind::kLcomb, core::AdapterKind::kLcombTopK,
+        core::AdapterKind::kLda}) {
+    if (adapter_name == core::AdapterKindName(kind)) {
+      config->adapter = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 int CmdClassify(const ArgMap& args) {
   const std::string train_path = GetOr(args, "train", "");
   const std::string test_path = GetOr(args, "test", "");
@@ -240,24 +272,9 @@ int CmdClassify(const ArgMap& args) {
       GetOr(args, "checkpoint",
             std::string("checkpoints/cli_") + model_name + ".ckpt");
   const std::string adapter_name = GetOr(args, "adapter", "PCA");
-  if (adapter_name == "none") {
-    config.adapter.reset();
-  } else {
-    bool found = false;
-    for (auto kind :
-         {core::AdapterKind::kPca, core::AdapterKind::kSvd,
-          core::AdapterKind::kRandProj, core::AdapterKind::kVar,
-          core::AdapterKind::kLcomb, core::AdapterKind::kLcombTopK,
-          core::AdapterKind::kLda}) {
-      if (adapter_name == core::AdapterKindName(kind)) {
-        config.adapter = kind;
-        found = true;
-      }
-    }
-    if (!found) {
-      std::fprintf(stderr, "unknown adapter '%s'\n", adapter_name.c_str());
-      return 1;
-    }
+  if (!ParseAdapter(adapter_name, &config)) {
+    std::fprintf(stderr, "unknown adapter '%s'\n", adapter_name.c_str());
+    return 1;
   }
   config.adapter_options.out_channels =
       std::stoll(GetOr(args, "dprime", "5"));
@@ -282,6 +299,99 @@ int CmdClassify(const ArgMap& args) {
   if (!classifier->last_report_path().empty()) {
     std::printf("report         %s\n", classifier->last_report_path().c_str());
   }
+  if (const std::string save = GetOr(args, "save", ""); !save.empty()) {
+    if (auto s = classifier->Save(save); !s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved          %s.{adapter,head,stats}\n", save.c_str());
+  }
+  return 0;
+}
+
+void PrintStages(const std::vector<pipeline::StageDescription>& stages) {
+  std::printf("%-12s %-28s %-8s %12s\n", "stage", "shape", "fitted",
+              "state bytes");
+  for (const auto& d : stages) {
+    std::printf("%-12s %-28s %-8s %12lld\n", d.name.c_str(),
+                d.signature.c_str(), d.fitted ? "yes" : "no",
+                static_cast<long long>(d.state_bytes));
+  }
+}
+
+// `tsfm pipeline describe`: the composed stage list for a configuration
+// (unfitted stages) or a saved fitted bundle (--prefix).
+int CmdPipeline(const std::string& verb, const ArgMap& args) {
+  if (verb != "describe") {
+    std::fprintf(stderr, "unknown pipeline verb '%s' (describe)\n",
+                 verb.c_str());
+    return 1;
+  }
+  finetune::ClassifierConfig config;
+  const std::string model_name = GetOr(args, "model", "moment");
+  config.model_kind = model_name == "vit" || model_name == "ViT"
+                          ? models::ModelKind::kVit
+                          : models::ModelKind::kMoment;
+  if (config.model_kind == models::ModelKind::kVit) {
+    config.model_config = models::VitSmallConfig();
+  }
+  config.checkpoint_path =
+      GetOr(args, "checkpoint",
+            std::string("checkpoints/cli_") + model_name + ".ckpt");
+  const std::string adapter_name = GetOr(args, "adapter", "PCA");
+  if (!ParseAdapter(adapter_name, &config)) {
+    std::fprintf(stderr, "unknown adapter '%s'\n", adapter_name.c_str());
+    return 1;
+  }
+  config.adapter_options.out_channels = std::stoll(GetOr(args, "dprime", "5"));
+  const int64_t classes = std::stoll(GetOr(args, "classes", "2"));
+
+  auto model = models::LoadOrPretrain(config.model_kind, config.model_config,
+                                      config.pretrain, config.checkpoint_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const models::FoundationModel> frozen = *model;
+
+  const std::string prefix = GetOr(args, "prefix", "");
+  if (!prefix.empty()) {
+    // Describe the fitted bundle saved under the prefix.
+    auto session = pipeline::Registry::Instance().LoadAndInstall(
+        "cli", prefix, frozen, config.adapter, classes,
+        pipeline::SessionOptions{});
+    if (!session.ok()) {
+      std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("fitted pipeline at %s (model=%s, E=%lld, C=%lld):\n",
+                prefix.c_str(), model_name.c_str(),
+                static_cast<long long>(frozen->embedding_dim()),
+                static_cast<long long>(classes));
+    PrintStages((*session)->Describe());
+    return 0;
+  }
+
+  // No prefix: describe the configured (unfitted) composition.
+  pipeline::Pipeline pipe;
+  pipe.Add(std::make_unique<pipeline::NormalizeStage>());
+  if (config.adapter.has_value()) {
+    pipe.Add(std::make_unique<pipeline::AdaptStage>(
+        core::CreateAdapter(*config.adapter, config.adapter_options)));
+  }
+  pipe.Add(std::make_unique<pipeline::EmbedStage>(frozen));
+  Rng head_rng(0);
+  pipe.Add(std::make_unique<pipeline::HeadStage>(
+      std::make_shared<models::ClassificationHead>(frozen->embedding_dim(),
+                                                   classes, &head_rng),
+      frozen->embedding_dim(), classes, pipeline::HeadTrainOptions{}));
+  std::printf("configured pipeline (model=%s, adapter=%s, D'=%lld, E=%lld, "
+              "C=%lld):\n",
+              model_name.c_str(), adapter_name.c_str(),
+              static_cast<long long>(config.adapter_options.out_channels),
+              static_cast<long long>(frozen->embedding_dim()),
+              static_cast<long long>(classes));
+  PrintStages(pipe.Describe());
   return 0;
 }
 
@@ -333,8 +443,8 @@ int CmdCache(const std::string& verb, const ArgMap& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tsfm <datasets|generate|estimate|classify|cache> "
-               "[--args]\n"
+               "usage: tsfm <datasets|generate|estimate|classify|cache|"
+               "pipeline> [--args]\n"
                "       [--trace out.json] [--profile out.txt|.json|.folded]\n"
                "       [--metrics [dest]] [--report [dir]] [--threads N]\n"
                "       [--mem-budget BYTES[K|M|G]] [--time-budget SECONDS]\n"
@@ -397,6 +507,11 @@ int Main(int argc, char** argv) {
     rc = CmdCache(argc > 2 && std::strncmp(argv[2], "--", 2) != 0 ? argv[2]
                                                                   : "list",
                   args);
+  } else if (command == "pipeline") {
+    rc = CmdPipeline(argc > 2 && std::strncmp(argv[2], "--", 2) != 0
+                         ? argv[2]
+                         : "describe",
+                     args);
   } else {
     return Usage();
   }
