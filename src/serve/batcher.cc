@@ -1,0 +1,227 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+
+namespace tsfm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BatchMetrics {
+  obs::Counter* batches;
+  obs::Counter* merged_requests;
+  obs::Histogram* batch_size;
+  obs::Histogram* execute_seconds;
+};
+
+BatchMetrics& Metrics() {
+  auto& r = obs::Registry::Instance();
+  static BatchMetrics m{r.GetCounter("serve.batches"),
+                        r.GetCounter("serve.merged_requests"),
+                        r.GetHistogram("serve.batch.size"),
+                        r.GetHistogram("serve.batch.execute_seconds")};
+  return m;
+}
+
+bool Compatible(const Tensor& a, bool a_embed, const Tensor& b,
+                bool b_embed) {
+  return a_embed == b_embed && a.dim(1) == b.dim(1) && a.dim(2) == b.dim(2);
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(SessionProvider provider, BatchOptions options)
+    : provider_(std::move(provider)), options_(options) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+std::future<Result<std::vector<int64_t>>> MicroBatcher::SubmitClassify(
+    Tensor x) {
+  Pending p;
+  p.x = std::move(x);
+  p.embed = false;
+  auto future = p.labels.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      p.labels.set_value(Status::ResourceExhausted("server stopping"));
+      return future;
+    }
+    queued_samples_ += p.x.dim(0);
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::future<Result<Tensor>> MicroBatcher::SubmitEmbed(Tensor x) {
+  Pending p;
+  p.x = std::move(x);
+  p.embed = true;
+  auto future = p.tensor.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      p.tensor.set_value(Status::ResourceExhausted("server stopping"));
+      return future;
+    }
+    queued_samples_ += p.x.dim(0);
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+int64_t MicroBatcher::pending_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_samples_;
+}
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Already stopping; fall through to join if the worker is still live.
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::vector<MicroBatcher::Pending> MicroBatcher::TakeBatchLocked() {
+  std::vector<Pending> batch;
+  if (queue_.empty()) return batch;
+  // Copies (cheap shared-buffer aliases): the front element is moved out of
+  // the deque below, so references into it would dangle.
+  const Tensor anchor = queue_.front().x;
+  const bool anchor_embed = queue_.front().embed;
+  int64_t samples = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const bool take =
+        batch.empty() ||
+        (Compatible(anchor, anchor_embed, it->x, it->embed) &&
+         samples + it->x.dim(0) <= options_.max_batch);
+    if (take) {
+      samples += it->x.dim(0);
+      queued_samples_ -= it->x.dim(0);
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+      // The anchor request alone may exceed max_batch (the session chunks
+      // internally); further merging stops once the cap is reached.
+      if (samples >= options_.max_batch) break;
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void MicroBatcher::ExecuteBatch(
+    const std::shared_ptr<const pipeline::InferenceSession>& session,
+    std::vector<Pending> batch) {
+  TSFM_TRACE_SPAN("serve.batch.execute");
+  const auto t_start = Clock::now();
+  int64_t samples = 0;
+  for (const Pending& p : batch) samples += p.x.dim(0);
+
+  auto fail_all = [&](const Status& status) {
+    for (Pending& p : batch) {
+      if (p.embed) {
+        p.tensor.set_value(status);
+      } else {
+        p.labels.set_value(status);
+      }
+    }
+  };
+  if (session == nullptr) {
+    fail_all(Status::FailedPrecondition("no session installed"));
+    return;
+  }
+
+  // Single-request batches skip the concat; merged ones run one forward and
+  // split results back by each request's sample count.
+  Tensor merged;
+  if (batch.size() == 1) {
+    merged = batch[0].x;
+  } else {
+    std::vector<Tensor> parts;
+    parts.reserve(batch.size());
+    for (const Pending& p : batch) parts.push_back(p.x);
+    merged = Concat(parts, 0);
+  }
+
+  if (batch[0].embed) {
+    auto embeddings = session->Embed(merged);
+    if (!embeddings.ok()) {
+      fail_all(embeddings.status());
+    } else {
+      int64_t row = 0;
+      for (Pending& p : batch) {
+        const int64_t n = p.x.dim(0);
+        p.tensor.set_value(Slice(*embeddings, 0, row, row + n).Contiguous());
+        row += n;
+      }
+    }
+  } else {
+    auto labels = session->PredictBatch(merged);
+    if (!labels.ok()) {
+      fail_all(labels.status());
+    } else {
+      size_t row = 0;
+      for (Pending& p : batch) {
+        const size_t n = static_cast<size_t>(p.x.dim(0));
+        p.labels.set_value(std::vector<int64_t>(labels->begin() + row,
+                                                labels->begin() + row + n));
+        row += n;
+      }
+    }
+  }
+
+  BatchMetrics& m = Metrics();
+  m.batches->Add(1);
+  if (batch.size() > 1) m.merged_requests->Add(batch.size());
+  m.batch_size->Observe(static_cast<double>(samples));
+  m.execute_seconds->Observe(
+      std::chrono::duration<double>(Clock::now() - t_start).count());
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Micro-batch window: give compatible requests a chance to coalesce with
+    // the one that just arrived. During a drain the window is skipped so
+    // shutdown answers the backlog as fast as possible.
+    if (!stop_ && options_.window_us > 0) {
+      const auto deadline =
+          Clock::now() + std::chrono::microseconds(options_.window_us);
+      while (!stop_ && queued_samples_ < options_.max_batch) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+    }
+    std::vector<Pending> batch = TakeBatchLocked();
+    if (batch.empty()) continue;
+    // The forward runs outside the lock so new requests keep queueing (and
+    // Stop can be requested) while the encoder is busy.
+    auto session = provider_ ? provider_() : nullptr;
+    lock.unlock();
+    ExecuteBatch(session, std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace tsfm::serve

@@ -1,0 +1,99 @@
+#ifndef TSFM_SERVE_BATCHER_H_
+#define TSFM_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/session.h"
+#include "tensor/tensor.h"
+
+namespace tsfm::serve {
+
+/// Micro-batching knobs, mirroring every production model server: the first
+/// pending request opens a window of `window_us`; compatible requests
+/// arriving inside it are coalesced into one forward pass, capped at
+/// `max_batch` samples. window_us == 0 degenerates to per-request execution.
+struct BatchOptions {
+  int64_t window_us = 1000;
+  int64_t max_batch = 64;
+};
+
+/// Coalesces concurrent classify/embed requests into single
+/// PredictBatch/Embed calls on the current InferenceSession.
+///
+/// Requests are compatible when they ask for the same operation (classify vs
+/// embed) and carry the same (T, D) series shape; the scheduler merges every
+/// compatible queued request (arrival order preserved) into one (ΣN, T, D)
+/// forward and splits results back per request. Because the per-sample math
+/// is batch-composition-independent (the determinism contract), merged
+/// responses are bit-identical to serial ones — serve_test asserts this.
+///
+/// The session is re-resolved from `provider` once per executed batch, which
+/// is what makes registry hot-swap safe: a batch runs entirely on one
+/// session, in-flight batches keep their session alive via shared_ptr, and
+/// the next batch picks up the newly installed one.
+class MicroBatcher {
+ public:
+  using SessionProvider =
+      std::function<std::shared_ptr<const pipeline::InferenceSession>()>;
+
+  MicroBatcher(SessionProvider provider, BatchOptions options);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a (N, T, D) batch for classification; the future resolves to
+  /// the labels (or the session's error). After Stop, submissions fail
+  /// immediately with ResourceExhausted.
+  std::future<Result<std::vector<int64_t>>> SubmitClassify(Tensor x);
+
+  /// Enqueues a (N, T, D) batch for embedding; resolves to a (N, E) tensor.
+  std::future<Result<Tensor>> SubmitEmbed(Tensor x);
+
+  /// Samples currently queued (admission-control input).
+  int64_t pending_samples() const;
+
+  /// Drains: every queued request is executed and answered (no window
+  /// waiting), then the worker exits. Idempotent; safe to call while
+  /// submitters are blocked on futures.
+  void Stop();
+
+ private:
+  struct Pending {
+    Tensor x;
+    bool embed = false;
+    std::promise<Result<std::vector<int64_t>>> labels;
+    std::promise<Result<Tensor>> tensor;
+  };
+
+  void WorkerLoop();
+  /// Pops front plus every compatible queued request, up to max_batch
+  /// samples. Caller holds mu_.
+  std::vector<Pending> TakeBatchLocked();
+  static void ExecuteBatch(
+      const std::shared_ptr<const pipeline::InferenceSession>& session,
+      std::vector<Pending> batch);
+
+  const SessionProvider provider_;
+  const BatchOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  int64_t queued_samples_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace tsfm::serve
+
+#endif  // TSFM_SERVE_BATCHER_H_

@@ -1,0 +1,64 @@
+#ifndef TSFM_SERVE_CLIENT_H_
+#define TSFM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "tensor/tensor.h"
+
+namespace tsfm::serve {
+
+/// Blocking client for the tsfm serve protocol: one request in flight at a
+/// time per connection (which is exactly what lets the server's micro-batch
+/// window coalesce across *many* connections). Used by the CLI verbs
+/// (`tsfm serve reload|stats|stop`), the load generator, and serve_test.
+///
+/// Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Classifies a (N, T, D) batch (a single (T, D) sample is auto-lifted).
+  /// A kBusy reply surfaces as ResourceExhausted("server busy").
+  Result<std::vector<int64_t>> Classify(const Tensor& x);
+
+  /// Embeds a (N, T, D) batch into (N, E).
+  Result<Tensor> Embed(const Tensor& x);
+
+  Status Ping();
+
+  /// Asks the server to hot-swap the bundle saved under `prefix` into its
+  /// serving slot; returns the session name it was installed under.
+  Result<std::string> Reload(const std::string& prefix);
+
+  /// The server's metrics registry dump (obs RenderText format).
+  Result<std::string> Stats();
+
+  /// Requests a graceful drain; returns once the server acknowledged.
+  Status Shutdown();
+
+  /// Raw frame round-trip (exposed for protocol tests and the fuzz matrix).
+  Result<Frame> Call(MessageType type, std::string payload);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace tsfm::serve
+
+#endif  // TSFM_SERVE_CLIENT_H_

@@ -1,0 +1,298 @@
+#include "serve/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/artifact.h"
+
+namespace tsfm::serve {
+
+namespace {
+
+// Poll tick for interruptible reads; the stop flag is observed at this
+// granularity. Once a frame is partially read, the reader grants the peer
+// kMidFrameGraceTicks more ticks to finish the frame during a drain so a
+// fully-sent request racing the stop flag is still answered.
+constexpr int kPollMillis = 50;
+constexpr int kMidFrameGraceTicks = 20;  // ~1 s
+
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+// Bounds-checked little-endian reads from a payload cursor.
+bool GetU32(std::string_view s, size_t* pos, uint32_t* v) {
+  if (s.size() - *pos < sizeof(*v)) return false;
+  std::memcpy(v, s.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+bool GetU64(std::string_view s, size_t* pos, uint64_t* v) {
+  if (s.size() - *pos < sizeof(*v)) return false;
+  std::memcpy(v, s.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+/// Reads exactly `n` bytes. `started` reports whether any byte of the
+/// current frame had already been consumed when a stop/EOF cut the read
+/// short, which is what distinguishes a truncated frame from an idle close.
+Status ReadExact(int fd, void* buf, size_t n, const std::atomic<bool>* stop,
+                 bool* started) {
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  int grace = kMidFrameGraceTicks;
+  while (got < n) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      if (!*started) return Status::ResourceExhausted("server stopping");
+      // Mid-frame: keep reading for a bounded grace period so a request
+      // already on the wire completes; a peer that stalls forfeits it.
+      if (--grace < 0) return Status::IoError("frame truncated by shutdown");
+    }
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, kPollMillis);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (pr == 0) continue;  // tick: recheck stop
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) {
+      if (!*started) return Status::NotFound("connection closed");
+      return Status::IoError("truncated frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+    *started = true;
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const void* buf, size_t n) {
+  const uint8_t* data = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsKnownMessageType(uint16_t type) {
+  return type >= static_cast<uint16_t>(MessageType::kClassifyRequest) &&
+         type <= static_cast<uint16_t>(MessageType::kShutdownResponse);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size() + kFrameTrailerBytes);
+  PutU32(&out, kFrameMagic);
+  PutU16(&out, kProtocolVersion);
+  PutU16(&out, static_cast<uint16_t>(frame.type));
+  PutU64(&out, frame.request_id);
+  PutU64(&out, static_cast<uint64_t>(frame.payload.size()));
+  out += frame.payload;
+  PutU32(&out, io::Crc32(frame.payload.data(), frame.payload.size()));
+  return out;
+}
+
+Status ParseFrameHeader(const uint8_t* data, FrameHeader* out) {
+  uint32_t magic;
+  uint16_t version, type;
+  std::memcpy(&magic, data, 4);
+  std::memcpy(&version, data + 4, 2);
+  std::memcpy(&type, data + 6, 2);
+  std::memcpy(&out->request_id, data + 8, 8);
+  std::memcpy(&out->payload_size, data + 16, 8);
+  if (magic != kFrameMagic) return Status::InvalidArgument("bad frame magic");
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  if (!IsKnownMessageType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  if (out->payload_size > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload " + std::to_string(out->payload_size) +
+        " exceeds limit " + std::to_string(kMaxFramePayload));
+  }
+  out->type = static_cast<MessageType>(type);
+  return Status::OK();
+}
+
+std::string EncodeTensorPayload(const Tensor& x) {
+  const Tensor dense = x.Contiguous();
+  std::string out;
+  out.reserve(8 + 8 * dense.ndim() + 4 * dense.numel());
+  PutU64(&out, static_cast<uint64_t>(dense.ndim()));
+  for (int64_t d = 0; d < dense.ndim(); ++d) {
+    PutU64(&out, static_cast<uint64_t>(dense.dim(d)));
+  }
+  out.append(reinterpret_cast<const char*>(dense.data()),
+             static_cast<size_t>(dense.numel()) * sizeof(float));
+  return out;
+}
+
+Result<Tensor> DecodeTensorPayload(std::string_view payload,
+                                   int64_t expected_ndim) {
+  size_t pos = 0;
+  uint64_t ndim;
+  if (!GetU64(payload, &pos, &ndim)) {
+    return Status::InvalidArgument("tensor payload too short for rank");
+  }
+  if (ndim != static_cast<uint64_t>(expected_ndim)) {
+    return Status::InvalidArgument("tensor payload rank " +
+                                   std::to_string(ndim) + ", expected " +
+                                   std::to_string(expected_ndim));
+  }
+  // Dims are bounded individually and jointly *before* any allocation: the
+  // product may not exceed what the remaining payload bytes can actually
+  // hold, so a hostile dim can never size a buffer past the frame cap.
+  const uint64_t max_elems = (payload.size() - pos) / sizeof(float);
+  Shape shape(static_cast<size_t>(ndim));
+  uint64_t numel = 1;
+  for (auto& dim : shape) {
+    uint64_t d;
+    if (!GetU64(payload, &pos, &d)) {
+      return Status::InvalidArgument("tensor payload too short for dims");
+    }
+    if (d == 0 || d > max_elems) {
+      return Status::InvalidArgument("hostile tensor dim " +
+                                     std::to_string(d));
+    }
+    numel *= d;
+    if (numel > max_elems) {
+      return Status::InvalidArgument("tensor dims exceed payload bytes");
+    }
+    dim = static_cast<int64_t>(d);
+  }
+  if (payload.size() - pos != numel * sizeof(float)) {
+    return Status::InvalidArgument("tensor payload size mismatch");
+  }
+  Tensor out = Tensor::Empty(std::move(shape));
+  std::memcpy(out.mutable_data(), payload.data() + pos,
+              numel * sizeof(float));
+  return out;
+}
+
+std::string EncodeLabelsPayload(const std::vector<int64_t>& labels) {
+  std::string out;
+  out.reserve(8 + 8 * labels.size());
+  PutU64(&out, static_cast<uint64_t>(labels.size()));
+  for (int64_t label : labels) {
+    PutU64(&out, static_cast<uint64_t>(label));
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DecodeLabelsPayload(std::string_view payload) {
+  size_t pos = 0;
+  uint64_t n;
+  if (!GetU64(payload, &pos, &n)) {
+    return Status::InvalidArgument("labels payload too short");
+  }
+  if (n != (payload.size() - pos) / sizeof(int64_t) ||
+      payload.size() - pos != n * sizeof(int64_t)) {
+    return Status::InvalidArgument("labels payload size mismatch");
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  if (n > 0) {
+    std::memcpy(labels.data(), payload.data() + pos, n * sizeof(int64_t));
+  }
+  return labels;
+}
+
+std::string EncodeStringPayload(std::string_view s) {
+  std::string out;
+  out.reserve(4 + s.size());
+  PutU32(&out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+  return out;
+}
+
+Result<std::string> DecodeStringPayload(std::string_view payload) {
+  size_t pos = 0;
+  uint32_t len;
+  if (!GetU32(payload, &pos, &len)) {
+    return Status::InvalidArgument("string payload too short");
+  }
+  if (payload.size() - pos != len) {
+    return Status::InvalidArgument("string payload size mismatch");
+  }
+  return std::string(payload.substr(pos, len));
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(status.code()));
+  out += EncodeStringPayload(status.message());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  size_t pos = 0;
+  uint32_t code;
+  if (!GetU32(payload, &pos, &code)) {
+    return Status::IoError("malformed error payload");
+  }
+  auto message = DecodeStringPayload(payload.substr(pos));
+  if (!message.ok()) return Status::IoError("malformed error payload");
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return Status::Internal("remote error with unknown code: " + *message);
+  }
+  return Status(static_cast<StatusCode>(code), *message);
+}
+
+Status ReadFrame(int fd, Frame* out, const std::atomic<bool>* stop) {
+  uint8_t header[kFrameHeaderBytes];
+  bool started = false;
+  TSFM_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header), stop, &started));
+  FrameHeader parsed;
+  TSFM_RETURN_IF_ERROR(ParseFrameHeader(header, &parsed));
+  // payload_size was validated against kMaxFramePayload above, so this
+  // resize is bounded no matter what the peer claims.
+  out->type = parsed.type;
+  out->request_id = parsed.request_id;
+  out->payload.resize(parsed.payload_size);
+  if (parsed.payload_size > 0) {
+    TSFM_RETURN_IF_ERROR(ReadExact(fd, out->payload.data(),
+                                   parsed.payload_size, stop, &started));
+  }
+  uint8_t trailer[kFrameTrailerBytes];
+  TSFM_RETURN_IF_ERROR(ReadExact(fd, trailer, sizeof(trailer), stop,
+                                 &started));
+  uint32_t crc;
+  std::memcpy(&crc, trailer, sizeof(crc));
+  if (crc != io::Crc32(out->payload.data(), out->payload.size())) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  return WriteAll(fd, bytes.data(), bytes.size());
+}
+
+}  // namespace tsfm::serve

@@ -1,0 +1,124 @@
+#ifndef TSFM_SERVE_PROTOCOL_H_
+#define TSFM_SERVE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tsfm::serve {
+
+// ---------------------------------------------------------------------------
+// Wire format. One request or response per frame:
+//
+//   u32 magic         "TSV1" (0x31565354 little-endian)
+//   u16 version       protocol version (kProtocolVersion)
+//   u16 type          MessageType
+//   u64 request_id    client-chosen, echoed verbatim in the response
+//   u64 payload_size  exact byte count of the payload (<= kMaxFramePayload)
+//   ...payload...
+//   u32 crc32         CRC-32 of the payload bytes (io::Crc32)
+//
+// The same discipline as the src/io artifact container: every header field is
+// validated before any allocation sized by it, so a hostile or corrupted
+// length field can never demand an unbounded buffer, and a CRC mismatch or
+// truncation surfaces as a protocol error, never a crash.
+
+inline constexpr uint32_t kFrameMagic = 0x31565354;  // "TSV1"
+inline constexpr uint16_t kProtocolVersion = 1;
+/// Hard cap on a frame payload (64 MiB ~ a 4M-element float batch). Anything
+/// larger is rejected from the header alone.
+inline constexpr uint64_t kMaxFramePayload = 64ull << 20;
+inline constexpr size_t kFrameHeaderBytes = 24;
+inline constexpr size_t kFrameTrailerBytes = 4;
+
+/// Frame kinds. Requests are even-free-form; each maps to one response kind
+/// (or kError / kBusy).
+enum class MessageType : uint16_t {
+  kClassifyRequest = 1,   // tensor payload (N, T, D) -> kClassifyResponse
+  kEmbedRequest = 2,      // tensor payload (N, T, D) -> kEmbedResponse
+  kClassifyResponse = 3,  // labels payload (N int64)
+  kEmbedResponse = 4,     // tensor payload (N, E)
+  kError = 5,             // error payload (status code + message)
+  kBusy = 6,              // empty; admission controller shed this request
+  kPing = 7,              // empty -> kPong
+  kPong = 8,              // empty
+  kReloadRequest = 9,     // string payload: fitted-bundle prefix
+  kReloadResponse = 10,   // string payload: installed session name
+  kStatsRequest = 11,     // empty -> kStatsResponse
+  kStatsResponse = 12,    // string payload: metrics registry RenderText()
+  kShutdownRequest = 13,  // empty -> kShutdownResponse, then server drains
+  kShutdownResponse = 14,
+};
+
+/// True for the values actually named in MessageType (used to reject frames
+/// whose type field is garbage before reading their payload).
+bool IsKnownMessageType(uint16_t type);
+
+/// A decoded frame.
+struct Frame {
+  MessageType type = MessageType::kError;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Validated header fields (payload not yet read).
+struct FrameHeader {
+  MessageType type;
+  uint64_t request_id;
+  uint64_t payload_size;
+};
+
+/// Serializes a frame (header + payload + CRC trailer).
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses and validates `kFrameHeaderBytes` of header: magic, version, known
+/// type, and payload_size <= kMaxFramePayload. InvalidArgument on any
+/// violation — the caller must not read a payload for a rejected header.
+Status ParseFrameHeader(const uint8_t* data, FrameHeader* out);
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Decoders bound every length field before allocating.
+
+/// Tensor payload: u64 ndim, ndim * u64 dims, numel * f32 values.
+std::string EncodeTensorPayload(const Tensor& x);
+/// `expected_ndim` pins the rank (3 for raw series batches, 2 for embedding
+/// matrices). Dims must be positive and consistent with the payload size.
+Result<Tensor> DecodeTensorPayload(std::string_view payload,
+                                   int64_t expected_ndim);
+
+/// Labels payload: u64 n, n * i64 labels.
+std::string EncodeLabelsPayload(const std::vector<int64_t>& labels);
+Result<std::vector<int64_t>> DecodeLabelsPayload(std::string_view payload);
+
+/// String payload: u32 length, bytes.
+std::string EncodeStringPayload(std::string_view s);
+Result<std::string> DecodeStringPayload(std::string_view payload);
+
+/// Error payload: u32 status code, string message. Decoding returns the
+/// carried Status (e.g. to propagate a server-side error to a client caller).
+std::string EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Blocking socket I/O. All calls poll in short ticks so a raised `stop` flag
+// (the server's drain signal) interrupts an idle wait instead of blocking
+// forever; `stop == nullptr` waits indefinitely.
+
+/// Reads one frame. Distinguishes outcomes by code:
+///   NotFound          clean EOF before any byte of a new frame (client done)
+///   ResourceExhausted `stop` observed while idle between frames
+///   IoError           EOF/error mid-frame (truncated frame)
+///   InvalidArgument   header validation or CRC failure (protocol error)
+Status ReadFrame(int fd, Frame* out, const std::atomic<bool>* stop);
+
+/// Writes a whole frame (retrying short writes).
+Status WriteFrame(int fd, const Frame& frame);
+
+}  // namespace tsfm::serve
+
+#endif  // TSFM_SERVE_PROTOCOL_H_

@@ -1,0 +1,545 @@
+// Serving stack: frame protocol hardening, micro-batch bit-identity,
+// admission control, hot-swap under load, and graceful drain.
+//
+// The fuzz matrix mirrors io_test's corruption matrix: truncation at every
+// header byte, bit-flipped header/CRC bytes, and hostile length fields must
+// surface as protocol errors (or a closed connection) — never a crash, a
+// hang, or an unbounded allocation. Built with -DTSFM_SANITIZE=thread in CI
+// alongside session_test.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/uea_like.h"
+#include "finetune/classifier.h"
+#include "obs/metrics.h"
+#include "pipeline/registry.h"
+#include "pipeline/session.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "tensor/ops.h"
+
+namespace tsfm {
+namespace {
+
+using finetune::ClassifierConfig;
+using finetune::TsfmClassifier;
+
+data::DatasetPair Problem(uint64_t seed) {
+  data::UeaDatasetSpec spec{"serve_toy", "sv", 40, 24, 8, 32, 2, 3};
+  return data::GenerateUeaLike(spec, seed, data::GeneratorCaps{});
+}
+
+Result<TsfmClassifier> FittedClassifier(const data::DatasetPair& pair) {
+  ClassifierConfig config;
+  config.model_kind = models::ModelKind::kVit;
+  config.model_config = models::VitTestConfig();
+  config.pretrain.corpus_size = 48;
+  config.pretrain.series_length = 32;
+  config.pretrain.epochs = 1;
+  config.finetune.head_epochs = 8;
+  config.adapter_options.out_channels = 3;
+  TSFM_ASSIGN_OR_RETURN(TsfmClassifier clf, TsfmClassifier::Create(config));
+  TSFM_RETURN_IF_ERROR(clf.Fit(pair.train, &pair.test));
+  return clf;
+}
+
+// One fitted session shared by every test (fitting dominates runtime). The
+// classifier is leaked intentionally so the session stays valid for the
+// whole process.
+struct Fitted {
+  data::DatasetPair pair;
+  TsfmClassifier* clf = nullptr;
+  std::shared_ptr<const pipeline::InferenceSession> session;
+  std::vector<int64_t> reference;  // serial PredictBatch over pair.test.x
+};
+
+Fitted& F() {
+  static Fitted* f = [] {
+    auto* out = new Fitted();
+    out->pair = Problem(31);
+    auto clf = FittedClassifier(out->pair);
+    if (!clf.ok()) {
+      std::fprintf(stderr, "fixture: %s\n", clf.status().ToString().c_str());
+      std::abort();
+    }
+    out->clf = new TsfmClassifier(std::move(*clf));
+    out->session = out->clf->session();
+    auto ref = out->session->PredictBatch(out->pair.test.x);
+    if (!ref.ok()) std::abort();
+    out->reference = *ref;
+    return out;
+  }();
+  return *f;
+}
+
+struct RunningServer {
+  pipeline::Registry registry;  // test-local, never the process singleton
+  std::unique_ptr<serve::Server> server;
+};
+
+std::unique_ptr<RunningServer> StartServer(serve::ServerOptions options,
+                                           const std::string& name =
+                                               "default") {
+  auto running = std::make_unique<RunningServer>();
+  EXPECT_TRUE(running->registry.Install(name, F().session).ok());
+  options.port = 0;
+  options.session_name = name;
+  auto server = serve::Server::Start(&running->registry, std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  if (!server.ok()) return nullptr;
+  running->server = std::move(*server);
+  return running;
+}
+
+double Metric(const char* name) {
+  const auto snapshot = obs::Registry::Instance().TakeSnapshot();
+  const auto it = snapshot.find(name);
+  return it == snapshot.end() ? 0.0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol units.
+
+TEST(ServeProtocolTest, PayloadCodecsRoundTrip) {
+  const Tensor x = F().pair.test.x.Narrow(0, 0, 2);
+  auto tensor = serve::DecodeTensorPayload(serve::EncodeTensorPayload(x), 3);
+  ASSERT_TRUE(tensor.ok()) << tensor.status().ToString();
+  ASSERT_EQ(tensor->shape(), x.shape());
+  const Tensor xc = x.Contiguous();
+  EXPECT_EQ(std::memcmp(tensor->data(), xc.data(),
+                        sizeof(float) * static_cast<size_t>(xc.numel())),
+            0);
+
+  const std::vector<int64_t> labels{3, 1, 4, 1, 5};
+  auto rt = serve::DecodeLabelsPayload(serve::EncodeLabelsPayload(labels));
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(*rt, labels);
+
+  auto s = serve::DecodeStringPayload(serve::EncodeStringPayload("bundle_a"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "bundle_a");
+
+  const Status err = Status::InvalidArgument("bad shape");
+  const Status decoded =
+      serve::DecodeErrorPayload(serve::EncodeErrorPayload(err));
+  EXPECT_EQ(decoded.code(), err.code());
+  EXPECT_EQ(decoded.message(), err.message());
+}
+
+TEST(ServeProtocolTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::Frame out{serve::MessageType::kClassifyRequest, 42,
+                   serve::EncodeTensorPayload(F().pair.test.x.Narrow(0, 0, 1))};
+  ASSERT_TRUE(serve::WriteFrame(fds[0], out).ok());
+  serve::Frame in;
+  ASSERT_TRUE(serve::ReadFrame(fds[1], &in, nullptr).ok());
+  EXPECT_EQ(in.type, out.type);
+  EXPECT_EQ(in.request_id, 42u);
+  EXPECT_EQ(in.payload, out.payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocolTest, HeaderValidationRejectsGarbage) {
+  const serve::Frame frame{serve::MessageType::kPing, 7, ""};
+  const std::string good = serve::EncodeFrame(frame);
+  ASSERT_GE(good.size(), serve::kFrameHeaderBytes);
+  serve::FrameHeader header;
+  ASSERT_TRUE(serve::ParseFrameHeader(
+                  reinterpret_cast<const uint8_t*>(good.data()), &header)
+                  .ok());
+
+  auto rejects = [&](size_t offset, uint8_t value) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(value);
+    serve::FrameHeader h;
+    return !serve::ParseFrameHeader(
+                reinterpret_cast<const uint8_t*>(bad.data()), &h)
+                .ok();
+  };
+  EXPECT_TRUE(rejects(0, 0xFF));  // magic
+  EXPECT_TRUE(rejects(4, 0xEE));  // version
+  EXPECT_TRUE(rejects(6, 0xEE));  // unknown type
+  // Hostile payload_size: the high byte makes it astronomically larger than
+  // kMaxFramePayload; the header alone must reject it (no allocation).
+  EXPECT_TRUE(rejects(23, 0xFF));
+}
+
+TEST(ServeProtocolTest, HostileTensorLengthsRejectedWithoutAllocation) {
+  // ndim claims 2^61 dims in a 16-byte payload.
+  std::string evil(16, '\0');
+  uint64_t ndim = 1ull << 61;
+  std::memcpy(evil.data(), &ndim, sizeof(ndim));
+  EXPECT_FALSE(serve::DecodeTensorPayload(evil, 3).ok());
+
+  // Plausible ndim but dims whose product dwarfs the actual payload bytes.
+  std::string dims(8 + 3 * 8 + 4, '\0');
+  uint64_t three = 3, huge = 1ull << 40, one = 1;
+  std::memcpy(dims.data(), &three, 8);
+  std::memcpy(dims.data() + 8, &huge, 8);
+  std::memcpy(dims.data() + 16, &huge, 8);
+  std::memcpy(dims.data() + 24, &one, 8);
+  EXPECT_FALSE(serve::DecodeTensorPayload(dims, 3).ok());
+
+  // Labels payload claiming 2^50 entries.
+  std::string labels(8, '\0');
+  uint64_t n = 1ull << 50;
+  std::memcpy(labels.data(), &n, sizeof(n));
+  EXPECT_FALSE(serve::DecodeLabelsPayload(labels).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server behavior.
+
+TEST(ServeServerTest, BatchingIsBitIdenticalToSerial) {
+  serve::ServerOptions options;
+  options.batch.window_us = 20000;
+  options.batch.max_batch = 16;
+  auto running = StartServer(options);
+  ASSERT_NE(running, nullptr);
+  const int port = running->server->port();
+  const Fitted& f = F();
+  const auto before_batches = Metric("serve.batches");
+  const auto before_requests = Metric("serve.merged_requests");
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0}, failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = serve::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        const int64_t idx = (t * kRounds + round) %
+                            static_cast<int64_t>(f.reference.size());
+        auto labels = client->Classify(f.pair.test.x.Narrow(0, idx, 1));
+        if (!labels.ok()) {
+          ++failures;
+          continue;
+        }
+        if ((*labels)[0] != f.reference[idx]) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Concurrency across connections must actually have coalesced: fewer
+  // forward passes than requests.
+  const double batches = Metric("serve.batches") - before_batches;
+  const double merged = Metric("serve.merged_requests") - before_requests;
+  EXPECT_EQ(merged, kThreads * kRounds);
+  EXPECT_LT(batches, merged);
+
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, EmbedMatchesSessionBitIdentical) {
+  auto running = StartServer(serve::ServerOptions{});
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+
+  const Tensor batch = F().pair.test.x.Narrow(0, 0, 4);
+  auto served = client->Embed(batch);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  auto direct = F().session->Embed(batch);
+  ASSERT_TRUE(direct.ok());
+  const Tensor expect = direct->Contiguous();
+  ASSERT_EQ(served->shape(), expect.shape());
+  EXPECT_EQ(std::memcmp(served->data(), expect.data(),
+                        sizeof(float) * static_cast<size_t>(expect.numel())),
+            0);
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, PingStatsAndReloadWithoutHandler) {
+  auto running = StartServer(serve::ServerOptions{});
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("serve."), std::string::npos);
+  // No reload_fn configured: reload must fail cleanly, not crash.
+  auto reload = client->Reload("anywhere");
+  EXPECT_FALSE(reload.ok());
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, AdmissionControlShedsWithBusy) {
+  serve::ServerOptions options;
+  options.batch.window_us = 200000;  // park the first request in the window
+  options.batch.max_batch = 64;
+  options.max_pending = 1;
+  auto running = StartServer(options);
+  ASSERT_NE(running, nullptr);
+  const int port = running->server->port();
+  const Tensor one = F().pair.test.x.Narrow(0, 0, 1);
+
+  std::thread first([&] {
+    auto client = serve::Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    auto labels = client->Classify(one);  // held open by the batch window
+    EXPECT_TRUE(labels.ok()) << labels.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  auto client = serve::Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto shed = client->Classify(one);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+
+  first.join();
+  EXPECT_GE(Metric("serve.shed"), 1.0);
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, HotSwapUnderLoadNeverDropsARequest) {
+  // A second fitted bundle to swap in (different seed, same shapes).
+  static Fitted* other = [] {
+    auto* out = new Fitted();
+    out->pair = Problem(32);
+    auto clf = FittedClassifier(out->pair);
+    if (!clf.ok()) std::abort();
+    out->clf = new TsfmClassifier(std::move(*clf));
+    out->session = out->clf->session();
+    return out;
+  }();
+  const Fitted& f = F();
+  auto ref_other = other->session->PredictBatch(f.pair.test.x);
+  ASSERT_TRUE(ref_other.ok());
+
+  auto running = std::make_unique<RunningServer>();
+  ASSERT_TRUE(running->registry.Install("hot", f.session).ok());
+  serve::ServerOptions options;
+  options.port = 0;
+  options.session_name = "hot";
+  pipeline::Registry* reg = &running->registry;
+  auto session_a = f.session;
+  auto session_b = other->session;
+  options.reload_fn = [reg, session_a, session_b](const std::string& prefix) {
+    return reg->Install("hot", prefix == "a" ? session_a : session_b);
+  };
+  auto server = serve::Server::Start(reg, std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = serve::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++bad;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        const int64_t idx =
+            (t + round) % static_cast<int64_t>(f.reference.size());
+        auto labels = client->Classify(f.pair.test.x.Narrow(0, idx, 1));
+        // Every response must be answered and must equal one of the two
+        // installed pipelines' serial predictions for that sample (a batch
+        // runs entirely on whichever session it resolved).
+        if (!labels.ok() || ((*labels)[0] != f.reference[idx] &&
+                             (*labels)[0] != (*ref_other)[idx])) {
+          ++bad;
+        }
+      }
+    });
+  }
+  // Swap back and forth while the load runs.
+  auto admin = serve::Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(admin.ok());
+  for (int swap = 0; swap < 6; ++swap) {
+    auto name = admin->Reload(swap % 2 == 0 ? "b" : "a");
+    EXPECT_TRUE(name.ok()) << name.status().ToString();
+    if (name.ok()) EXPECT_EQ(*name, "hot");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  (*server)->Stop();
+}
+
+TEST(ServeServerTest, StopAnswersInFlightRequests) {
+  serve::ServerOptions options;
+  options.batch.window_us = 300000;  // long window: Stop() must not wait it out
+  auto running = StartServer(options);
+  ASSERT_NE(running, nullptr);
+  const int port = running->server->port();
+  const Fitted& f = F();
+
+  std::atomic<bool> answered{false};
+  std::thread inflight([&] {
+    auto client = serve::Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    auto labels = client->Classify(f.pair.test.x.Narrow(0, 2, 1));
+    ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+    EXPECT_EQ((*labels)[0], f.reference[2]);
+    answered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  running->server->Stop();  // drains: the parked request is executed now
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  inflight.join();
+  EXPECT_TRUE(answered.load());
+  // Drain must not have waited out the 300ms window on top of execution.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            290);
+}
+
+TEST(ServeServerTest, ShutdownVerbAcknowledgesThenDrains) {
+  auto running = StartServer(serve::ServerOptions{});
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(running->server->ShutdownRequested());
+  EXPECT_TRUE(client->Shutdown().ok());
+  EXPECT_TRUE(running->server->ShutdownRequested());
+  running->server->Stop();
+}
+
+TEST(ServeBatcherTest, SubmitAfterStopFailsFast) {
+  auto session = F().session;
+  serve::MicroBatcher batcher([session] { return session; },
+                              serve::BatchOptions{});
+  batcher.Stop();
+  auto future = batcher.SubmitClassify(F().pair.test.x.Narrow(0, 0, 1));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ServeBatcherTest, MissingSessionSurfacesAsError) {
+  auto running = std::make_unique<RunningServer>();
+  serve::ServerOptions options;
+  options.port = 0;
+  options.session_name = "never_installed";
+  auto server = serve::Server::Start(&running->registry, std::move(options));
+  ASSERT_TRUE(server.ok());
+  auto client = serve::Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto labels = client->Classify(F().pair.test.x.Narrow(0, 0, 1));
+  EXPECT_FALSE(labels.ok());  // clean error frame, not a crash
+  (*server)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz matrix (mirrors io_test's corruption matrix).
+
+// Sends `bytes` raw, half-closes, and drains whatever the server answers.
+// Returns true when the exchange terminated (response or EOF) — i.e. the
+// server neither hung nor died mid-conversation.
+bool RawExchange(int port, const std::string& bytes) {
+  auto client = serve::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) return false;
+  const int fd = client->fd();
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;  // server already closed on us: acceptable
+    sent += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  // Drain until EOF/close; bounded by the frame reader's own validation.
+  serve::Frame response;
+  while (serve::ReadFrame(fd, &response, nullptr).ok()) {
+  }
+  return true;
+}
+
+TEST(ServeFuzzTest, TruncationBitFlipsAndHostileLengthsNeverKillServer) {
+  auto running = StartServer(serve::ServerOptions{});
+  ASSERT_NE(running, nullptr);
+  const int port = running->server->port();
+
+  const serve::Frame good{
+      serve::MessageType::kClassifyRequest, 9,
+      serve::EncodeTensorPayload(F().pair.test.x.Narrow(0, 0, 1))};
+  const std::string wire = serve::EncodeFrame(good);
+  ASSERT_GT(wire.size(), serve::kFrameHeaderBytes + serve::kFrameTrailerBytes);
+
+  // Truncation at every header byte, a payload cut, and every trailer byte.
+  std::vector<size_t> cuts;
+  for (size_t c = 0; c <= serve::kFrameHeaderBytes; ++c) cuts.push_back(c);
+  cuts.push_back(serve::kFrameHeaderBytes + 11);
+  cuts.push_back(wire.size() / 2);
+  for (size_t c = wire.size() - serve::kFrameTrailerBytes; c < wire.size();
+       ++c) {
+    cuts.push_back(c);
+  }
+  for (const size_t cut : cuts) {
+    EXPECT_TRUE(RawExchange(port, wire.substr(0, cut))) << "cut=" << cut;
+  }
+
+  // Bit-flip every header byte and every trailer (CRC) byte, plus a payload
+  // byte. Flips that land in request_id still form a valid frame — the
+  // point is the server survives whatever each flip produces.
+  std::vector<size_t> flips;
+  for (size_t i = 0; i < serve::kFrameHeaderBytes; ++i) flips.push_back(i);
+  flips.push_back(serve::kFrameHeaderBytes + 5);
+  for (size_t i = wire.size() - serve::kFrameTrailerBytes; i < wire.size();
+       ++i) {
+    flips.push_back(i);
+  }
+  for (const size_t flip : flips) {
+    std::string mutated = wire;
+    mutated[flip] = static_cast<char>(mutated[flip] ^ 0x55);
+    EXPECT_TRUE(RawExchange(port, mutated)) << "flip=" << flip;
+  }
+
+  // Hostile length field: a header alone demanding kMaxFramePayload + 1.
+  std::string hostile = wire.substr(0, serve::kFrameHeaderBytes);
+  const uint64_t huge = serve::kMaxFramePayload + 1;
+  std::memcpy(hostile.data() + 16, &huge, sizeof(huge));
+  EXPECT_TRUE(RawExchange(port, hostile));
+
+  // Zero-length classify payload (valid frame, empty tensor) must error,
+  // not crash.
+  serve::Frame empty{serve::MessageType::kClassifyRequest, 10, ""};
+  EXPECT_TRUE(RawExchange(port, serve::EncodeFrame(empty)));
+
+  EXPECT_GE(Metric("serve.protocol_errors"), 1.0);
+
+  // The server is still healthy after the whole matrix.
+  auto client = serve::Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+  auto labels = client->Classify(F().pair.test.x.Narrow(0, 1, 1));
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  EXPECT_EQ((*labels)[0], F().reference[1]);
+  running->server->Stop();
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -36,6 +36,10 @@ WATCHED_PREFIXES = (
     "BM_FineTuneInnerLoopAlloc/",
     "BM_PredictSingle",
     "BM_PredictBatch32",
+    # Produced by tools/tsfm_loadgen.cc (serve-smoke job), not gbench:
+    # p99 latency and mean ns/request of the dynamically-batched server.
+    "BM_ServeP99",
+    "BM_ServeThroughput",
 )
 
 # name -> (counter, max allowed value) hard invariants on the candidate run.

@@ -15,12 +15,29 @@
 //   tsfm cache list|verify|clear [--cache-dir dir]
 //       Maintain the embedding cache: list entries, re-check every CRC,
 //       or delete all entries. Defaults to TSFM_CACHE_DIR.
+//   tsfm predict --prefix saved_prefix --input data.csv --classes C
+//                 [--model moment|vit] [--adapter PCA|...|none] [--dprime 5]
+//                 [--checkpoint path] [--out labels.txt]
+//       Load a fitted bundle and print one predicted label per input sample
+//       (the offline reference the serve smoke diffs responses against).
+//   tsfm serve --prefix saved_prefix --classes C [--port 7070] [--host IP]
+//                 [--model moment|vit] [--adapter PCA|...|none] [--dprime 5]
+//                 [--checkpoint path] [--name default]
+//                 [--batch-window-us 1000] [--max-batch 64]
+//                 [--max-pending 256]
+//       Serve classify/embed traffic over the length-prefixed TCP protocol
+//       with dynamic micro-batching; SIGTERM/SIGINT drain gracefully.
+//   tsfm serve reload --prefix new_prefix [--port 7070] [--host IP]
+//       Hot-swap a re-fitted bundle into a running server (zero downtime).
+//   tsfm serve stats [--port 7070]   print the server's live metrics
+//   tsfm serve stop  [--port 7070]   ask the server to drain and exit
 //   tsfm pipeline describe [--model moment|vit] [--adapter PCA|...|none]
 //                 [--dprime 5] [--classes 2] [--checkpoint path]
-//                 [--prefix saved_prefix]
+//                 [--prefix saved_prefix] [--check-fitted]
 //       Print the composed stage list (name, in/out shape, fitted-state
 //       bytes) for a configuration, or — with --prefix — for a fitted
 //       bundle saved by classifier Save / the pipeline registry.
+//       --check-fitted exits nonzero unless every stage is fitted.
 //
 // Observability flags (valid with every command):
 //   --trace out.json     record trace spans and write chrome://tracing JSON
@@ -47,12 +64,19 @@
 //                        memory); bit-identical to eager, usually faster
 //                        (same as TSFM_GRAPH=1; watch graph.* in --metrics)
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/adapter.h"
 #include "data/csv.h"
@@ -71,6 +95,8 @@
 #include "pipeline/stages.h"
 #include "resources/cost_model.h"
 #include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace tsfm::cli {
 namespace {
@@ -89,6 +115,8 @@ ArgMap ParseArgs(int argc, char** argv, int start) {
       args["full"] = "1";
     } else if (std::strcmp(argv[i], "--graph") == 0) {
       args["graph"] = "1";
+    } else if (std::strcmp(argv[i], "--check-fitted") == 0) {
+      args["check-fitted"] = "1";
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       args["metrics"] = next_is_value ? argv[++i] : "stderr";
     } else if (std::strcmp(argv[i], "--report") == 0) {
@@ -309,6 +337,234 @@ int CmdClassify(const ArgMap& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Serving commands.
+
+// Signal-to-drain flag: SIGTERM/SIGINT ask the serve loop for a graceful
+// stop (answer everything in flight, then exit 0).
+std::atomic<int> g_serve_signal{0};
+void OnServeSignal(int sig) {
+  g_serve_signal.store(sig, std::memory_order_relaxed);
+}
+
+// Loads the frozen model named by the args and installs the fitted bundle
+// under `--prefix` into the process registry as `name`. Shared by `predict`
+// and `serve`; on success the out-params describe what was installed.
+int LoadServingSession(
+    const ArgMap& args, const std::string& name, int64_t default_classes,
+    std::shared_ptr<const models::FoundationModel>* model_out,
+    std::optional<core::AdapterKind>* adapter_out, int64_t* classes_out,
+    std::shared_ptr<const pipeline::InferenceSession>* session_out) {
+  const std::string prefix = GetOr(args, "prefix", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "needs --prefix (a bundle saved by classify "
+                         "--save)\n");
+    return 1;
+  }
+  finetune::ClassifierConfig config;
+  const std::string model_name = GetOr(args, "model", "moment");
+  config.model_kind = model_name == "vit" || model_name == "ViT"
+                          ? models::ModelKind::kVit
+                          : models::ModelKind::kMoment;
+  if (config.model_kind == models::ModelKind::kVit) {
+    config.model_config = models::VitSmallConfig();
+  }
+  config.checkpoint_path =
+      GetOr(args, "checkpoint",
+            std::string("checkpoints/cli_") + model_name + ".ckpt");
+  const std::string adapter_name = GetOr(args, "adapter", "PCA");
+  if (!ParseAdapter(adapter_name, &config)) {
+    std::fprintf(stderr, "unknown adapter '%s'\n", adapter_name.c_str());
+    return 1;
+  }
+  const int64_t classes =
+      std::stoll(GetOr(args, "classes", std::to_string(default_classes)));
+  if (classes <= 0) {
+    std::fprintf(stderr, "needs --classes (the fitted head's logit "
+                         "count)\n");
+    return 1;
+  }
+  auto model = models::LoadOrPretrain(config.model_kind, config.model_config,
+                                      config.pretrain, config.checkpoint_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const models::FoundationModel> frozen = *model;
+  auto session = pipeline::Registry::Instance().LoadAndInstall(
+      name, prefix, frozen, config.adapter, classes,
+      pipeline::SessionOptions{});
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  *model_out = std::move(frozen);
+  *adapter_out = config.adapter;
+  *classes_out = classes;
+  *session_out = *session;
+  return 0;
+}
+
+// `tsfm predict`: offline per-sample labels from a fitted bundle — the
+// byte-for-byte reference that served responses are diffed against.
+int CmdPredict(const ArgMap& args) {
+  const std::string input = GetOr(args, "input", "");
+  if (input.empty()) {
+    std::fprintf(stderr, "predict needs --input CSV path\n");
+    return 1;
+  }
+  auto ds = data::LoadCsv(input, "predict");
+  if (!ds.ok()) {
+    std::fprintf(stderr, "input: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const models::FoundationModel> model;
+  std::optional<core::AdapterKind> adapter;
+  int64_t classes = 0;
+  std::shared_ptr<const pipeline::InferenceSession> session;
+  if (int rc = LoadServingSession(args, "predict", ds->num_classes, &model,
+                                  &adapter, &classes, &session);
+      rc != 0) {
+    return rc;
+  }
+  auto labels = session->PredictBatch(ds->x);
+  if (!labels.ok()) {
+    std::fprintf(stderr, "%s\n", labels.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out_path = GetOr(args, "out", "");
+  if (out_path.empty()) {
+    for (int64_t label : *labels) {
+      std::printf("%lld\n", static_cast<long long>(label));
+    }
+    return 0;
+  }
+  std::ofstream os(out_path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  for (int64_t label : *labels) {
+    os << label << "\n";
+  }
+  std::printf("wrote %zu labels to %s\n", labels->size(), out_path.c_str());
+  return 0;
+}
+
+// `tsfm serve` (no verb): run the inference server until SIGTERM/SIGINT or
+// a client shutdown request, then drain and exit 0.
+int CmdServeRun(const ArgMap& args) {
+  const std::string name = GetOr(args, "name", "default");
+  std::shared_ptr<const models::FoundationModel> model;
+  std::optional<core::AdapterKind> adapter;
+  int64_t classes = 0;
+  std::shared_ptr<const pipeline::InferenceSession> session;
+  if (int rc = LoadServingSession(args, name, 0, &model, &adapter, &classes,
+                                  &session);
+      rc != 0) {
+    return rc;
+  }
+
+  serve::ServerOptions options;
+  options.host = GetOr(args, "host", "127.0.0.1");
+  options.port = std::atoi(GetOr(args, "port", "7070").c_str());
+  options.session_name = name;
+  options.batch.window_us = std::stoll(GetOr(args, "batch-window-us", "1000"));
+  options.batch.max_batch = std::stoll(GetOr(args, "max-batch", "64"));
+  options.max_pending = std::stoll(GetOr(args, "max-pending", "256"));
+  // `tsfm serve reload` hot-swaps a re-fitted bundle with the same model,
+  // adapter kind, and class count into the serving slot.
+  options.reload_fn = [model, adapter, classes,
+                       name](const std::string& prefix) -> Status {
+    auto swapped = pipeline::Registry::Instance().LoadAndInstall(
+        name, prefix, model, adapter, classes, pipeline::SessionOptions{});
+    return swapped.ok() ? Status::OK() : swapped.status();
+  };
+
+  auto server = serve::Server::Start(&pipeline::Registry::Instance(),
+                                     std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, OnServeSignal);
+  std::signal(SIGINT, OnServeSignal);
+  std::printf("tsfm serve: listening on %s:%d (session '%s', window %lld us, "
+              "max batch %lld, max pending %lld)\n",
+              (*server)->options().host.c_str(), (*server)->port(),
+              name.c_str(),
+              static_cast<long long>((*server)->options().batch.window_us),
+              static_cast<long long>((*server)->options().batch.max_batch),
+              static_cast<long long>((*server)->options().max_pending));
+  std::fflush(stdout);
+
+  while (g_serve_signal.load(std::memory_order_relaxed) == 0 &&
+         !(*server)->ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "tsfm serve: draining\n");
+  (*server)->Stop();
+  const auto snapshot = obs::Registry::Instance().TakeSnapshot();
+  const auto metric = [&snapshot](const char* key) {
+    auto it = snapshot.find(key);
+    return it == snapshot.end() ? 0.0 : it->second;
+  };
+  std::fprintf(stderr,
+               "tsfm serve: drained (%.0f requests, %.0f responses, "
+               "%.0f shed, %.0f batches)\n",
+               metric("serve.requests"), metric("serve.responses"),
+               metric("serve.shed"), metric("serve.batches"));
+  return 0;
+}
+
+// `tsfm serve reload|stats|stop`: thin client verbs against a running
+// server.
+int CmdServeClient(const std::string& verb, const ArgMap& args) {
+  const std::string host = GetOr(args, "host", "127.0.0.1");
+  const int port = std::atoi(GetOr(args, "port", "7070").c_str());
+  auto client = serve::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  if (verb == "reload") {
+    const std::string prefix = GetOr(args, "prefix", "");
+    if (prefix.empty()) {
+      std::fprintf(stderr, "serve reload needs --prefix\n");
+      return 1;
+    }
+    auto session_name = client->Reload(prefix);
+    if (!session_name.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   session_name.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("reloaded %s into session '%s'\n", prefix.c_str(),
+                session_name->c_str());
+    return 0;
+  }
+  if (verb == "stats") {
+    auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(stats->c_str(), stdout);
+    return 0;
+  }
+  if (verb == "stop") {
+    if (auto s = client->Shutdown(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("server draining\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown serve verb '%s' (reload|stats|stop)\n",
+               verb.c_str());
+  return 1;
+}
+
 void PrintStages(const std::vector<pipeline::StageDescription>& stages) {
   std::printf("%-12s %-28s %-8s %12s\n", "stage", "shape", "fitted",
               "state bytes");
@@ -319,6 +575,26 @@ void PrintStages(const std::vector<pipeline::StageDescription>& stages) {
   }
 }
 
+// With --check-fitted, `pipeline describe` becomes a machine-checkable
+// assertion: exit 3 unless every stage reports fitted (so CI does not have
+// to grep the table's whitespace).
+int FinishDescribe(const std::vector<pipeline::StageDescription>& stages,
+                   bool check_fitted) {
+  PrintStages(stages);
+  if (!check_fitted) return 0;
+  int unfitted = 0;
+  for (const auto& d : stages) {
+    if (!d.fitted) {
+      std::fprintf(stderr, "check-fitted: stage '%s' is not fitted\n",
+                   d.name.c_str());
+      ++unfitted;
+    }
+  }
+  if (unfitted > 0) return 3;
+  std::printf("check-fitted: all %zu stages fitted\n", stages.size());
+  return 0;
+}
+
 // `tsfm pipeline describe`: the composed stage list for a configuration
 // (unfitted stages) or a saved fitted bundle (--prefix).
 int CmdPipeline(const std::string& verb, const ArgMap& args) {
@@ -327,6 +603,7 @@ int CmdPipeline(const std::string& verb, const ArgMap& args) {
                  verb.c_str());
     return 1;
   }
+  const bool check_fitted = GetOr(args, "check-fitted", "") == "1";
   finetune::ClassifierConfig config;
   const std::string model_name = GetOr(args, "model", "moment");
   config.model_kind = model_name == "vit" || model_name == "ViT"
@@ -368,8 +645,7 @@ int CmdPipeline(const std::string& verb, const ArgMap& args) {
                 prefix.c_str(), model_name.c_str(),
                 static_cast<long long>(frozen->embedding_dim()),
                 static_cast<long long>(classes));
-    PrintStages((*session)->Describe());
-    return 0;
+    return FinishDescribe((*session)->Describe(), check_fitted);
   }
 
   // No prefix: describe the configured (unfitted) composition.
@@ -391,8 +667,7 @@ int CmdPipeline(const std::string& verb, const ArgMap& args) {
               static_cast<long long>(config.adapter_options.out_channels),
               static_cast<long long>(frozen->embedding_dim()),
               static_cast<long long>(classes));
-  PrintStages(pipe.Describe());
-  return 0;
+  return FinishDescribe(pipe.Describe(), check_fitted);
 }
 
 // Maintenance verbs for the embedding cache; the directory comes from
@@ -443,8 +718,8 @@ int CmdCache(const std::string& verb, const ArgMap& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tsfm <datasets|generate|estimate|classify|cache|"
-               "pipeline> [--args]\n"
+               "usage: tsfm <datasets|generate|estimate|classify|predict|"
+               "serve|cache|pipeline> [--args]\n"
                "       [--trace out.json] [--profile out.txt|.json|.folded]\n"
                "       [--metrics [dest]] [--report [dir]] [--threads N]\n"
                "       [--mem-budget BYTES[K|M|G]] [--time-budget SECONDS]\n"
@@ -503,6 +778,12 @@ int Main(int argc, char** argv) {
     rc = CmdEstimate(args);
   } else if (command == "classify") {
     rc = CmdClassify(args);
+  } else if (command == "predict") {
+    rc = CmdPredict(args);
+  } else if (command == "serve") {
+    const std::string verb =
+        argc > 2 && std::strncmp(argv[2], "--", 2) != 0 ? argv[2] : "";
+    rc = verb.empty() ? CmdServeRun(args) : CmdServeClient(verb, args);
   } else if (command == "cache") {
     rc = CmdCache(argc > 2 && std::strncmp(argv[2], "--", 2) != 0 ? argv[2]
                                                                   : "list",

@@ -1,0 +1,289 @@
+// tsfm_loadgen — load generator for `tsfm serve`.
+//
+//   tsfm_loadgen --port P [--host 127.0.0.1] --input data.csv
+//       [--connections 4] [--requests 200] [--mode closed|open]
+//       [--rate 200]                  # open loop: target requests/sec total
+//       [--expected labels.txt]       # per-line labels from `tsfm predict`;
+//                                     # request r must match line (r % N)
+//       [--out bench_results/BENCH_serve.json]
+//
+// Each connection is a blocking serve::Client. In closed-loop mode every
+// connection issues its next request as soon as the previous response
+// arrives; in open-loop mode requests are dispatched on a fixed schedule so
+// queueing delay shows up in the latencies instead of throttling the
+// offered load. BUSY responses are retried with backoff and counted.
+//
+// The JSON output is Google-Benchmark-shaped so tools/bench_compare.py can
+// gate on it directly:
+//   BM_ServeP99        real_time = p99 latency (ns)
+//   BM_ServeThroughput real_time = mean ns per request (1/throughput)
+// Exit status: 0 = all requests answered (and matched --expected when
+// given), 1 = mismatch or error, 2 = bad usage.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/csv.h"
+#include "serve/client.h"
+#include "tensor/tensor.h"
+
+namespace tsfm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string input;
+  std::string expected;
+  std::string out;
+  int connections = 4;
+  int64_t requests = 200;
+  bool open_loop = false;
+  double rate = 200.0;  // open loop only: offered requests/sec, all conns
+};
+
+struct WorkerResult {
+  std::vector<int64_t> latencies_ns;
+  int64_t mismatches = 0;
+  int64_t busy_retries = 0;
+  int64_t errors = 0;
+};
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--host" && (v = next())) {
+      opt->host = v;
+    } else if (a == "--port" && (v = next())) {
+      opt->port = std::atoi(v);
+    } else if (a == "--input" && (v = next())) {
+      opt->input = v;
+    } else if (a == "--expected" && (v = next())) {
+      opt->expected = v;
+    } else if (a == "--out" && (v = next())) {
+      opt->out = v;
+    } else if (a == "--connections" && (v = next())) {
+      opt->connections = std::atoi(v);
+    } else if (a == "--requests" && (v = next())) {
+      opt->requests = std::atoll(v);
+    } else if (a == "--mode" && (v = next())) {
+      opt->open_loop = std::strcmp(v, "open") == 0;
+    } else if (a == "--rate" && (v = next())) {
+      opt->rate = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown or valueless flag '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  if (opt->port <= 0 || opt->input.empty() || opt->connections <= 0 ||
+      opt->requests <= 0 || (opt->open_loop && opt->rate <= 0)) {
+    std::fprintf(stderr,
+                 "usage: tsfm_loadgen --port P --input data.csv "
+                 "[--connections N] [--requests R] [--mode closed|open] "
+                 "[--rate RPS] [--expected labels.txt] [--out file.json]\n");
+    return false;
+  }
+  return true;
+}
+
+// One worker owns one connection and the request ids r with
+// r % connections == worker_index, so the sample for request r is always
+// x[r % num_samples] regardless of scheduling — that is what lets
+// --expected verify byte-identity against the offline `tsfm predict` run.
+void Worker(const Options& opt, int index, const Tensor& x,
+            const std::vector<int64_t>* expected, Clock::time_point start,
+            WorkerResult* out) {
+  auto client = serve::Client::Connect(opt.host, opt.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "conn %d: %s\n", index,
+                 client.status().ToString().c_str());
+    out->errors = 1;
+    return;
+  }
+  const int64_t num_samples = x.dim(0);
+  const double interval_s =
+      opt.open_loop ? static_cast<double>(opt.connections) / opt.rate : 0.0;
+  int64_t k = 0;  // how many requests this worker has issued
+  for (int64_t r = index; r < opt.requests; r += opt.connections, ++k) {
+    if (opt.open_loop) {
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>((index + 1e-3) / opt.rate +
+                                                    k * interval_s));
+      std::this_thread::sleep_until(due);  // no-op once we fall behind
+    }
+    const Tensor sample = x.Narrow(0, r % num_samples, 1);
+    const auto t0 = Clock::now();
+    auto labels = client->Classify(sample);
+    // Shed load comes back as ResourceExhausted; retry with backoff so a
+    // burst does not turn into dropped coverage of the request space.
+    int backoff_ms = 1;
+    while (!labels.ok() &&
+           labels.status().code() == StatusCode::kResourceExhausted &&
+           backoff_ms <= 64) {
+      ++out->busy_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+      labels = client->Classify(sample);
+    }
+    const auto t1 = Clock::now();
+    if (!labels.ok()) {
+      std::fprintf(stderr, "request %lld: %s\n", static_cast<long long>(r),
+                   labels.status().ToString().c_str());
+      ++out->errors;
+      continue;
+    }
+    out->latencies_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    if (expected != nullptr &&
+        (*labels)[0] != (*expected)[r % expected->size()]) {
+      std::fprintf(stderr,
+                   "request %lld: label %lld != expected %lld (sample "
+                   "%lld)\n",
+                   static_cast<long long>(r),
+                   static_cast<long long>((*labels)[0]),
+                   static_cast<long long>((*expected)[r % expected->size()]),
+                   static_cast<long long>(r % num_samples));
+      ++out->mismatches;
+    }
+  }
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int Run(const Options& opt) {
+  auto ds = data::LoadCsv(opt.input, "loadgen");
+  if (!ds.ok()) {
+    std::fprintf(stderr, "input: %s\n", ds.status().ToString().c_str());
+    return 2;
+  }
+
+  std::vector<int64_t> expected;
+  if (!opt.expected.empty()) {
+    std::ifstream is(opt.expected);
+    if (!is) {
+      std::fprintf(stderr, "cannot read %s\n", opt.expected.c_str());
+      return 2;
+    }
+    int64_t label;
+    while (is >> label) expected.push_back(label);
+    if (expected.empty() ||
+        expected.size() != static_cast<size_t>(ds->x.dim(0))) {
+      std::fprintf(stderr, "%s: %zu labels, input has %lld samples\n",
+                   opt.expected.c_str(), expected.size(),
+                   static_cast<long long>(ds->x.dim(0)));
+      return 2;
+    }
+  }
+
+  std::vector<WorkerResult> results(opt.connections);
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int i = 0; i < opt.connections; ++i) {
+    threads.emplace_back(Worker, std::cref(opt), i, std::cref(ds->x),
+                         expected.empty() ? nullptr : &expected, start,
+                         &results[i]);
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<int64_t> latencies;
+  int64_t mismatches = 0, busy_retries = 0, errors = 0;
+  for (const auto& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+    mismatches += r.mismatches;
+    busy_retries += r.busy_retries;
+    errors += r.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const int64_t answered = static_cast<int64_t>(latencies.size());
+  const int64_t p50 = Percentile(latencies, 0.50);
+  const int64_t p95 = Percentile(latencies, 0.95);
+  const int64_t p99 = Percentile(latencies, 0.99);
+  const double throughput = answered / std::max(wall_s, 1e-9);
+  const double mean_ns_per_req =
+      answered > 0 ? wall_s * 1e9 / static_cast<double>(answered) : 0.0;
+
+  std::printf(
+      "loadgen: %lld/%lld answered in %.3fs (%.1f req/s), %d conns, "
+      "%s loop\n"
+      "latency ns: p50 %lld  p95 %lld  p99 %lld  max %lld\n"
+      "busy retries %lld, errors %lld, mismatches %lld%s\n",
+      static_cast<long long>(answered),
+      static_cast<long long>(opt.requests), wall_s, throughput,
+      opt.connections, opt.open_loop ? "open" : "closed",
+      static_cast<long long>(p50), static_cast<long long>(p95),
+      static_cast<long long>(p99),
+      static_cast<long long>(latencies.empty() ? 0 : latencies.back()),
+      static_cast<long long>(busy_retries), static_cast<long long>(errors),
+      static_cast<long long>(mismatches),
+      expected.empty() ? "" : " (verified against --expected)");
+
+  if (!opt.out.empty()) {
+    std::ofstream os(opt.out, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 2;
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"context\": {\"executable\": \"tsfm_loadgen\", "
+        "\"connections\": %d, \"requests\": %lld, \"mode\": \"%s\"},\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"BM_ServeP99\", \"run_type\": \"iteration\",\n"
+        "     \"iterations\": %lld, \"real_time\": %lld, "
+        "\"cpu_time\": %lld, \"time_unit\": \"ns\",\n"
+        "     \"p50\": %lld, \"p95\": %lld},\n"
+        "    {\"name\": \"BM_ServeThroughput\", \"run_type\": "
+        "\"iteration\",\n"
+        "     \"iterations\": %lld, \"real_time\": %.1f, "
+        "\"cpu_time\": %.1f, \"time_unit\": \"ns\",\n"
+        "     \"requests_per_second\": %.1f}\n"
+        "  ]\n"
+        "}\n",
+        opt.connections, static_cast<long long>(opt.requests),
+        opt.open_loop ? "open" : "closed", static_cast<long long>(answered),
+        static_cast<long long>(p99), static_cast<long long>(p99),
+        static_cast<long long>(p50), static_cast<long long>(p95),
+        static_cast<long long>(answered), mean_ns_per_req, mean_ns_per_req,
+        throughput);
+    os << buf;
+    std::printf("wrote %s\n", opt.out.c_str());
+  }
+
+  const bool all_answered = answered == opt.requests;
+  return (mismatches == 0 && errors == 0 && all_answered) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tsfm
+
+int main(int argc, char** argv) {
+  tsfm::Options opt;
+  if (!tsfm::ParseArgs(argc, argv, &opt)) return 2;
+  return tsfm::Run(opt);
+}
