@@ -14,6 +14,8 @@
 #include "linalg/linalg.h"
 #include "memory/buffer_pool.h"
 #include "models/head.h"
+#include "obs/metrics.h"
+#include "obs/rolling.h"
 #include "optim/optim.h"
 #include "pipeline/session.h"
 #include "runtime/thread_pool.h"
@@ -248,6 +250,41 @@ void BM_PredictBatch32(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_PredictBatch32);
+
+// Cost of one live metrics scrape (Registry::RenderPrometheus) against a
+// registry populated the way a busy server populates it: rolling serve
+// instruments with labeled per-op histograms plus a spread of plain
+// counters. This is the cost an operator pays per scrape interval; it must
+// stay milliseconds-flat so a 1 s --follow loop is effectively free.
+void BM_ServeMetricsScrape(benchmark::State& state) {
+  auto& registry = obs::Registry::Instance();
+  static const bool populated = [&registry] {
+    Rng rng(5);
+    auto* latency = registry.GetRollingHistogram(obs::LabeledName(
+        "bench.scrape.latency", {{"model", "default"}, {"op", "classify"}}));
+    auto* embed = registry.GetRollingHistogram(obs::LabeledName(
+        "bench.scrape.latency", {{"model", "default"}, {"op", "embed"}}));
+    auto* requests = registry.GetRollingCounter("bench.scrape.requests");
+    for (int i = 0; i < 10000; ++i) {
+      latency->Observe(0.001 + 0.0001 * (i % 50));
+      embed->Observe(0.002 + 0.0001 * (i % 30));
+      requests->Add(1);
+    }
+    for (int i = 0; i < 32; ++i) {
+      registry.GetCounter("bench.scrape.counter_" + std::to_string(i))
+          ->Add(static_cast<uint64_t>(i));
+    }
+    return true;
+  }();
+  benchmark::DoNotOptimize(populated);
+  for (auto _ : state) {
+    std::string text = registry.RenderPrometheus();
+    benchmark::DoNotOptimize(text.data());
+    state.counters["bytes"] = static_cast<double>(text.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeMetricsScrape);
 
 // Parallel speedup of the 512^3 matmul across pool sizes. Registered last
 // (and restoring the ambient thread count per run) so the pool-size sweep

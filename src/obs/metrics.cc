@@ -7,24 +7,12 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/rolling.h"
 #include "obs/run_report.h"
 
 namespace tsfm::obs {
 
 namespace {
-
-// Bucket index for value `v` (clamped to the table edges).
-int BucketIndex(double v) {
-  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the lowest bucket
-  int exp = 0;
-  std::frexp(v, &exp);
-  // frexp returns v = m * 2^exp with m in [0.5, 1), so the lower bound of
-  // the containing power-of-two interval is 2^(exp-1).
-  const int i = (exp - 1) - Histogram::kMinExp;
-  if (i < 0) return 0;
-  if (i >= Histogram::kNumBuckets) return Histogram::kNumBuckets - 1;
-  return i;
-}
 
 void AtomicAddDouble(std::atomic<double>* a, double v) {
   double cur = a->load(std::memory_order_relaxed);
@@ -32,7 +20,65 @@ void AtomicAddDouble(std::atomic<double>* a, double v) {
   }
 }
 
+// Integral values print without a fraction so counter dumps stay clean.
+std::string FormatMetricValue(double value) {
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
 }  // namespace
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the lowest bucket
+  int exp = 0;
+  std::frexp(v, &exp);
+  // frexp returns v = m * 2^exp with m in [0.5, 1), so the lower bound of
+  // the containing power-of-two interval is 2^(exp-1).
+  const int i = (exp - 1) - kMinExp;
+  if (i < 0) return 0;
+  if (i >= kNumBuckets) return kNumBuckets - 1;
+  return i;
+}
+
+std::string LabeledName(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  if (labels.size() == 0) return base;
+  std::string out = base;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string SuffixedMetricName(const std::string& name,
+                               const std::string& suffix) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
 
 void Histogram::Observe(double v) {
   buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
@@ -98,11 +144,23 @@ Registry& Registry::Instance() {
   return *registry;
 }
 
+Registry::~Registry() = default;
+
+void Registry::CheckTypeUniqueLocked(const std::string& name,
+                                     const void* self) const {
+  const bool clash =
+      (self != &counters_ && counters_.count(name) > 0) ||
+      (self != &gauges_ && gauges_.count(name) > 0) ||
+      (self != &histograms_ && histograms_.count(name) > 0) ||
+      (self != &rolling_counters_ && rolling_counters_.count(name) > 0) ||
+      (self != &rolling_histograms_ && rolling_histograms_.count(name) > 0);
+  TSFM_CHECK(!clash) << "metric '" << name
+                     << "' already registered with another type";
+}
+
 Counter* Registry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  TSFM_CHECK(gauges_.find(name) == gauges_.end() &&
-             histograms_.find(name) == histograms_.end())
-      << "metric '" << name << "' already registered with another type";
+  CheckTypeUniqueLocked(name, &counters_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
@@ -113,9 +171,7 @@ Counter* Registry::GetCounter(const std::string& name) {
 
 Gauge* Registry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  TSFM_CHECK(counters_.find(name) == counters_.end() &&
-             histograms_.find(name) == histograms_.end())
-      << "metric '" << name << "' already registered with another type";
+  CheckTypeUniqueLocked(name, &gauges_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
@@ -125,12 +181,36 @@ Gauge* Registry::GetGauge(const std::string& name) {
 
 Histogram* Registry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  TSFM_CHECK(counters_.find(name) == counters_.end() &&
-             gauges_.find(name) == gauges_.end())
-      << "metric '" << name << "' already registered with another type";
+  CheckTypeUniqueLocked(name, &histograms_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+RollingCounter* Registry::GetRollingCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckTypeUniqueLocked(name, &rolling_counters_);
+  auto it = rolling_counters_.find(name);
+  if (it == rolling_counters_.end()) {
+    it = rolling_counters_
+             .emplace(name,
+                      std::unique_ptr<RollingCounter>(new RollingCounter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+RollingHistogram* Registry::GetRollingHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckTypeUniqueLocked(name, &rolling_histograms_);
+  auto it = rolling_histograms_.find(name);
+  if (it == rolling_histograms_.end()) {
+    it = rolling_histograms_
+             .emplace(name, std::unique_ptr<RollingHistogram>(
+                                new RollingHistogram()))
              .first;
   }
   return it->second.get();
@@ -157,12 +237,39 @@ Snapshot Registry::TakeSnapshot() const {
       snap[name] = g->value();
     }
     for (const auto& [name, h] : histograms_) {
-      snap[name + ".count"] = static_cast<double>(h->count());
-      snap[name + ".sum"] = h->sum();
+      snap[SuffixedMetricName(name, ".count")] =
+          static_cast<double>(h->count());
+      snap[SuffixedMetricName(name, ".sum")] = h->sum();
       if (h->count() > 0) {
-        snap[name + ".p50"] = h->Percentile(0.5);
-        snap[name + ".p99"] = h->Percentile(0.99);
-        snap[name + ".max"] = h->max();
+        snap[SuffixedMetricName(name, ".p50")] = h->Percentile(0.5);
+        snap[SuffixedMetricName(name, ".p99")] = h->Percentile(0.99);
+        snap[SuffixedMetricName(name, ".max")] = h->max();
+      }
+    }
+    for (const auto& [name, c] : rolling_counters_) {
+      snap[name] = static_cast<double>(c->value());
+      snap[SuffixedMetricName(name, ".window.count")] =
+          static_cast<double>(c->WindowCount());
+      snap[SuffixedMetricName(name, ".window.rate")] = c->WindowRatePerSec();
+    }
+    for (const auto& [name, h] : rolling_histograms_) {
+      snap[SuffixedMetricName(name, ".count")] =
+          static_cast<double>(h->count());
+      snap[SuffixedMetricName(name, ".sum")] = h->sum();
+      if (h->count() > 0) {
+        snap[SuffixedMetricName(name, ".p50")] = h->Percentile(0.5);
+        snap[SuffixedMetricName(name, ".p99")] = h->Percentile(0.99);
+        snap[SuffixedMetricName(name, ".max")] = h->max();
+      }
+      snap[SuffixedMetricName(name, ".window.count")] =
+          static_cast<double>(h->WindowCount());
+      if (h->WindowCount() > 0) {
+        snap[SuffixedMetricName(name, ".window.p50")] =
+            h->WindowPercentile(0.5);
+        snap[SuffixedMetricName(name, ".window.p95")] =
+            h->WindowPercentile(0.95);
+        snap[SuffixedMetricName(name, ".window.p99")] =
+            h->WindowPercentile(0.99);
       }
     }
     provider_fns.reserve(providers_.size());
@@ -188,13 +295,167 @@ void Registry::ResetPeaks() const {
 std::string Registry::RenderText() const {
   const Snapshot snap = TakeSnapshot();
   std::ostringstream os;
+  // The snapshot is a std::map, so this dump is inherently sorted by metric
+  // name — stable output for diffs and CI greps.
   for (const auto& [name, value] : snap) {
-    // Integral values print without a fraction so counter dumps stay clean.
-    if (value == std::floor(value) && std::fabs(value) < 1e15) {
-      os << name << " " << static_cast<int64_t>(value) << "\n";
-    } else {
-      os << name << " " << value << "\n";
+    os << name << " " << FormatMetricValue(value) << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (our dots)
+// becomes an underscore, under a `tsfm_` namespace prefix.
+std::string MangleFamily(const std::string& base) {
+  std::string out = "tsfm_";
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Splits "name{k=\"v\"}" into the base name and the label list (without
+// braces; empty when the name carries no labels).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+// Joins a label list with one extra label into a rendered label block.
+std::string LabelBlock(const std::string& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  if (labels.empty()) return "{" + extra + "}";
+  if (extra.empty()) return "{" + labels + "}";
+  return "{" + labels + "," + extra + "}";
+}
+
+struct PromFamily {
+  std::string type;
+  std::vector<std::string> lines;
+};
+
+void AddSample(std::map<std::string, PromFamily>* families,
+               const std::string& family, const std::string& type,
+               const std::string& label_block, double value) {
+  PromFamily& f = (*families)[family];
+  if (f.type.empty()) f.type = type;
+  f.lines.push_back(family + label_block + " " + FormatMetricValue(value));
+}
+
+// Emits one histogram family from a bucket-count reader: cumulative
+// `_bucket{le=...}` series (ascending, +Inf last), `_sum`, `_count`. The
+// +Inf bucket and _count both use the sum of the bucket loads so the
+// exposition invariant (bucket counts monotone, +Inf == _count) holds even
+// while writers race the render.
+template <typename BucketFn>
+void AddHistogramFamily(std::map<std::string, PromFamily>* families,
+                        const std::string& name, BucketFn bucket_count,
+                        double sum) {
+  std::string base, labels;
+  SplitLabels(name, &base, &labels);
+  const std::string family = MangleFamily(base);
+  PromFamily& f = (*families)[family];
+  f.type = "histogram";
+  uint64_t cum = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    cum += c;
+    char le[64];
+    std::snprintf(le, sizeof(le), "le=\"%.9g\"",
+                  Histogram::BucketLowerBound(i + 1));
+    f.lines.push_back(family + "_bucket" + LabelBlock(labels, le) + " " +
+                      std::to_string(cum));
+  }
+  f.lines.push_back(family + "_bucket" + LabelBlock(labels, "le=\"+Inf\"") +
+                    " " + std::to_string(cum));
+  f.lines.push_back(family + "_sum" + LabelBlock(labels, "") + " " +
+                    FormatMetricValue(sum));
+  f.lines.push_back(family + "_count" + LabelBlock(labels, "") + " " +
+                    std::to_string(cum));
+}
+
+void AddGaugeSample(std::map<std::string, PromFamily>* families,
+                    const std::string& name, const std::string& suffix,
+                    double value) {
+  std::string base, labels;
+  SplitLabels(name, &base, &labels);
+  AddSample(families, MangleFamily(base) + suffix, "gauge",
+            LabelBlock(labels, ""), value);
+}
+
+}  // namespace
+
+std::string Registry::RenderPrometheus() const {
+  std::map<std::string, PromFamily> families;
+  std::vector<std::function<void(Snapshot*)>> provider_fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      std::string base, labels;
+      SplitLabels(name, &base, &labels);
+      AddSample(&families, MangleFamily(base) + "_total", "counter",
+                LabelBlock(labels, ""),
+                static_cast<double>(c->value()));
     }
+    for (const auto& [name, c] : rolling_counters_) {
+      std::string base, labels;
+      SplitLabels(name, &base, &labels);
+      AddSample(&families, MangleFamily(base) + "_total", "counter",
+                LabelBlock(labels, ""),
+                static_cast<double>(c->value()));
+      AddGaugeSample(&families, name, "_window_count",
+                     static_cast<double>(c->WindowCount()));
+      AddGaugeSample(&families, name, "_window_rate", c->WindowRatePerSec());
+    }
+    for (const auto& [name, g] : gauges_) {
+      AddGaugeSample(&families, name, "", g->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      AddHistogramFamily(
+          &families, name, [&](int i) { return h->BucketCount(i); },
+          h->sum());
+    }
+    for (const auto& [name, h] : rolling_histograms_) {
+      AddHistogramFamily(
+          &families, name,
+          [&](int i) { return h->CumulativeBucketCount(i); }, h->sum());
+      AddGaugeSample(&families, name, "_window_count",
+                     static_cast<double>(h->WindowCount()));
+      AddGaugeSample(&families, name, "_window_p50",
+                     h->WindowPercentile(0.5));
+      AddGaugeSample(&families, name, "_window_p95",
+                     h->WindowPercentile(0.95));
+      AddGaugeSample(&families, name, "_window_p99",
+                     h->WindowPercentile(0.99));
+    }
+    provider_fns.reserve(providers_.size());
+    for (const auto& [name, p] : providers_) provider_fns.push_back(p.fn);
+  }
+  // Providers contribute flat snapshot values; each renders as one gauge.
+  Snapshot provided;
+  for (const auto& fn : provider_fns) {
+    if (fn) fn(&provided);
+  }
+  for (const auto& [name, value] : provided) {
+    AddGaugeSample(&families, name, "", value);
+  }
+
+  std::ostringstream os;
+  for (const auto& [family, f] : families) {
+    os << "# TYPE " << family << " "
+       << (f.type.empty() ? "untyped" : f.type) << "\n";
+    for (const std::string& line : f.lines) os << line << "\n";
   }
   return os.str();
 }

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tsfm::obs {
@@ -68,6 +70,15 @@ class Histogram {
   /// Lower bound of bucket `i` (exposed for tests of the percentile math).
   static double BucketLowerBound(int i);
 
+  /// Bucket index for value `v`, clamped to the table edges (shared with the
+  /// rolling-window histograms so both sides bucket identically).
+  static int BucketIndex(double v);
+
+  /// Observation count in bucket `i` (Prometheus exposition reads these).
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Registry;
   Histogram() = default;
@@ -80,9 +91,34 @@ class Histogram {
   mutable std::mutex extrema_mu_;  // min/max update path only
 };
 
+class RollingCounter;
+class RollingHistogram;
+
 /// One flattened metric value in a snapshot. Histograms expand to several
 /// entries (count / sum / p50 / p99 / max) so the snapshot stays a flat map.
+/// Because the snapshot is a std::map, every rendering derived from it
+/// (RenderText, RenderPrometheus) is sorted by name — stable for diffs and
+/// CI greps.
 using Snapshot = std::map<std::string, double>;
+
+// ---------------------------------------------------------------------------
+// Metric names and labels. A metric name may carry a Prometheus-style label
+// block as a suffix: `serve.request.latency{model="default",op="classify"}`.
+// The registry treats the whole string as the key (two label sets are two
+// metrics); RenderPrometheus splits the block back out so scrapers see real
+// labels, and RenderText keeps the full string.
+
+/// Appends `{k="v",...}` to `base`. Label values are escaped for the
+/// Prometheus text format (backslash, quote, newline).
+std::string LabeledName(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels);
+
+/// Inserts `suffix` before the label block (if any): ("a.b{x=\"1\"}", ".p99")
+/// -> "a.b.p99{x=\"1\"}". Snapshot keys derived from labeled metrics use
+/// this so the suffix stays part of the family name, not the labels.
+std::string SuffixedMetricName(const std::string& name,
+                               const std::string& suffix);
 
 /// Process-wide metric registry. Metric objects are created on first lookup
 /// and live for the process lifetime, so callers cache the returned pointer
@@ -104,6 +140,14 @@ class Registry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Sliding-window variants (obs/rolling.h). A RollingCounter snapshots the
+  /// same `name` key as a plain Counter plus `name.window.{count,rate}`; a
+  /// RollingHistogram emits a plain Histogram's keys plus
+  /// `name.window.{count,p50,p95,p99}` — so migrating a metric to its
+  /// rolling variant never breaks an existing consumer of the old keys.
+  RollingCounter* GetRollingCounter(const std::string& name);
+  RollingHistogram* GetRollingHistogram(const std::string& name);
+
   /// Registers `fn` to contribute values to every snapshot. `reset_peak`
   /// (optional) is invoked by ResetPeaks. Re-registering the same provider
   /// name replaces the callbacks (idempotent registration).
@@ -123,18 +167,34 @@ class Registry {
   /// TSFM_METRICS exit dump.
   std::string RenderText() const;
 
+  /// Prometheus text exposition (version 0.0.4) of the whole registry:
+  /// families are prefixed `tsfm_`, dots become underscores, label blocks in
+  /// metric names become real labels, each family gets one `# TYPE` line,
+  /// histograms emit cumulative `_bucket{le=...}` / `_sum` / `_count`
+  /// series, rolling windows surface as `_window_*` gauges, and provider
+  /// values render as gauges. Output is sorted by family then series. This
+  /// is what the kMetricsRequest serve verb returns to scrapers.
+  std::string RenderPrometheus() const;
+
  private:
   Registry() = default;
+  ~Registry();  // defined out of line: rolling types are incomplete here
 
   struct Provider {
     std::function<void(Snapshot*)> fn;
     std::function<void()> reset_peak;
   };
 
+  /// Fatal unless `name` is absent from every metric map except `self`.
+  void CheckTypeUniqueLocked(const std::string& name, const void* self) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<RollingCounter>> rolling_counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>>
+      rolling_histograms_;
   std::map<std::string, Provider> providers_;
 };
 

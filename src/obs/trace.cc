@@ -44,6 +44,8 @@ int ThreadId() {
   return tid;
 }
 
+thread_local RequestContext g_request_context{};
+
 int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                               State().epoch)
@@ -101,7 +103,8 @@ std::atomic<bool>& EnabledFlag() {
   return s.enabled;
 }
 
-void Record(const char* name, int64_t start_ns, int64_t dur_ns) {
+void Record(const char* name, int64_t start_ns, int64_t dur_ns,
+            RequestContext ctx) {
   TraceState& s = State();
   std::lock_guard<std::mutex> lock(s.mu);
   if (s.ring.empty()) s.ring.resize(static_cast<size_t>(kRingCapacity));
@@ -110,6 +113,8 @@ void Record(const char* name, int64_t start_ns, int64_t dur_ns) {
   e.tid = ThreadId();
   e.start_ns = start_ns;
   e.dur_ns = dur_ns;
+  e.trace_id = ctx.trace_id;
+  e.batch_id = ctx.batch_id;
   s.next = (s.next + 1) % kRingCapacity;
   if (s.size < kRingCapacity) {
     ++s.size;
@@ -118,10 +123,48 @@ void Record(const char* name, int64_t start_ns, int64_t dur_ns) {
   }
 }
 
+// The trace provider must exist even in processes that never touch the
+// trace API before their first scrape: a server whose operator polls
+// kMetricsRequest should see trace.events / trace.dropped (both 0) rather
+// than a missing key. Static-init registration covers that; InitFromEnv
+// re-registers idempotently.
+const bool g_trace_metrics_registered = (RegisterTraceMetrics(), true);
+
 }  // namespace
 
 bool TraceEnabled() {
   return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+RequestContext CurrentContext() { return g_request_context; }
+
+ContextScope::ContextScope(RequestContext ctx) : prev_(g_request_context) {
+  g_request_context = ctx;
+}
+
+ContextScope::~ContextScope() { g_request_context = prev_; }
+
+uint64_t NewTraceId() {
+  // Seeded off the wall clock so ids from successive processes (e.g. a
+  // client and a restarted server) almost never collide; uniqueness only
+  // matters within one trace file.
+  static std::atomic<uint64_t> next{[] {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+    return (static_cast<uint64_t>(us) << 16) | 1u;
+  }()};
+  uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  if (id == 0) id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int64_t TraceNowNs() { return NowNs(); }
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns,
+                RequestContext ctx) {
+  if (!TraceEnabled()) return;
+  Record(name, start_ns, dur_ns, ctx);
 }
 
 void EnableTracing() { EnabledFlag().store(true, std::memory_order_relaxed); }
@@ -180,13 +223,25 @@ bool WriteTrace(const std::string& path) {
     if (!first) os << ",";
     first = false;
     // Chrome's Trace Event Format: complete events ("ph":"X") with ts/dur
-    // in fractional microseconds.
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                  "\"ts\":%.3f,\"dur\":%.3f}",
-                  e.name, e.tid, static_cast<double>(e.start_ns) / 1000.0,
-                  static_cast<double>(e.dur_ns) / 1000.0);
+    // in fractional microseconds. Request-scoped spans carry their ids in
+    // "args" so one request's tree can be filtered out of a serving trace.
+    char buf[384];
+    if (e.trace_id != 0 || e.batch_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":%llu,"
+                    "\"batch_id\":%llu}}",
+                    e.name, e.tid, static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0,
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.batch_id));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%.3f,\"dur\":%.3f}",
+                    e.name, e.tid, static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0);
+    }
     os << buf;
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -199,7 +254,7 @@ TraceSpan::TraceSpan(const char* name)
 
 TraceSpan::~TraceSpan() {
   if (name_ == nullptr) return;
-  Record(name_, start_ns_, NowNs() - start_ns_);
+  Record(name_, start_ns_, NowNs() - start_ns_, g_request_context);
 }
 
 }  // namespace tsfm::obs

@@ -10,12 +10,64 @@ namespace tsfm::obs {
 /// One completed span. `name` must be a string literal (or otherwise outlive
 /// the process) — spans store the pointer, never copy the text, so recording
 /// is a clock read plus one ring-buffer slot.
+///
+/// `trace_id` / `batch_id` stitch request-scoped serving spans into one
+/// tree: a request's spans share its trace_id even across threads, and
+/// spans recorded inside a shared micro-batch carry the batch_id the
+/// request rode in (the queue-wait span carries *both*, which is the join
+/// key between a request's tree and the per-batch execute/stage spans).
+/// Zero means "not part of a request/batch" — offline spans stay unchanged.
 struct TraceEvent {
   const char* name;
   int tid;            // small dense id, not the OS thread id
   int64_t start_ns;   // steady-clock nanoseconds since the trace epoch
   int64_t dur_ns;
+  uint64_t trace_id = 0;
+  uint64_t batch_id = 0;
 };
+
+/// Request-scoped context propagated through a thread: every span recorded
+/// while a ContextScope is live inherits these ids. The serving path sets
+/// {trace_id, 0} in the connection handler and {_, batch_id} around the
+/// batched forward, so per-stage spans (session.predict, pipeline stages)
+/// stitch into the right request/batch tree without being serving-aware.
+struct RequestContext {
+  uint64_t trace_id = 0;
+  uint64_t batch_id = 0;
+};
+
+/// The calling thread's current context ({0, 0} when none is set).
+RequestContext CurrentContext();
+
+/// RAII: installs `ctx` as the calling thread's context, restoring the
+/// previous one on destruction (scopes nest).
+class ContextScope {
+ public:
+  explicit ContextScope(RequestContext ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  RequestContext prev_;
+};
+
+/// Process-unique nonzero trace id (cheap: one relaxed fetch-add). Clients
+/// mint one per request and send it over the wire.
+uint64_t NewTraceId();
+
+/// Nanoseconds since the trace epoch — the timebase of TraceEvent.start_ns.
+/// Works whether or not tracing is enabled, so callers can capture
+/// timestamps cheaply and only turn them into spans (RecordSpan) later.
+int64_t TraceNowNs();
+
+/// Records a completed span retroactively under an explicit context. This is
+/// how the micro-batcher emits each rider's queue-wait span after the batch
+/// executes: start/duration were captured with TraceNowNs() at enqueue time,
+/// and `ctx` carries that request's trace_id plus the batch_id it rode in.
+/// No-op when tracing is disabled.
+void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns,
+                RequestContext ctx);
 
 /// True when span recording is active. Reading it is one relaxed atomic
 /// load; with tracing off a TSFM_TRACE_SPAN costs that load and nothing
@@ -42,8 +94,11 @@ void ClearTrace();
 
 /// Writes the buffered events to `path` in chrome://tracing "Trace Event
 /// Format" JSON ({"traceEvents":[...]} with complete "X" events, timestamps
-/// in microseconds). Load via chrome://tracing or https://ui.perfetto.dev.
-/// Returns false if the file cannot be written.
+/// in microseconds). Events carrying a request context additionally emit
+/// "args":{"trace_id":...,"batch_id":...} so a viewer (or a script) can
+/// filter one request's stitched tree out of a busy serving trace. Load via
+/// chrome://tracing or https://ui.perfetto.dev. Returns false if the file
+/// cannot be written.
 bool WriteTrace(const std::string& path);
 
 /// RAII span: records [construction, destruction) under `name` when tracing

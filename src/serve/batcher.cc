@@ -35,6 +35,10 @@ bool Compatible(const Tensor& a, bool a_embed, const Tensor& b,
   return a_embed == b_embed && a.dim(1) == b.dim(1) && a.dim(2) == b.dim(2);
 }
 
+// Process-unique micro-batch ids, minted per executed batch. Nonzero so a
+// zero batch_id in a span or access-log line always means "never batched".
+std::atomic<uint64_t> g_next_batch_id{0};
+
 }  // namespace
 
 MicroBatcher::MicroBatcher(SessionProvider provider, BatchOptions options)
@@ -45,10 +49,13 @@ MicroBatcher::MicroBatcher(SessionProvider provider, BatchOptions options)
 MicroBatcher::~MicroBatcher() { Stop(); }
 
 std::future<Result<std::vector<int64_t>>> MicroBatcher::SubmitClassify(
-    Tensor x) {
+    Tensor x, RequestMeta meta, BatchStats* stats) {
   Pending p;
   p.x = std::move(x);
   p.embed = false;
+  p.meta = meta;
+  p.stats = stats;
+  p.enqueue_ns = obs::TraceNowNs();
   auto future = p.labels.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -63,10 +70,15 @@ std::future<Result<std::vector<int64_t>>> MicroBatcher::SubmitClassify(
   return future;
 }
 
-std::future<Result<Tensor>> MicroBatcher::SubmitEmbed(Tensor x) {
+std::future<Result<Tensor>> MicroBatcher::SubmitEmbed(Tensor x,
+                                                      RequestMeta meta,
+                                                      BatchStats* stats) {
   Pending p;
   p.x = std::move(x);
   p.embed = true;
+  p.meta = meta;
+  p.stats = stats;
+  p.enqueue_ns = obs::TraceNowNs();
   auto future = p.tensor.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -129,70 +141,110 @@ std::vector<MicroBatcher::Pending> MicroBatcher::TakeBatchLocked() {
 void MicroBatcher::ExecuteBatch(
     const std::shared_ptr<const pipeline::InferenceSession>& session,
     std::vector<Pending> batch) {
-  TSFM_TRACE_SPAN("serve.batch.execute");
+  const uint64_t batch_id =
+      g_next_batch_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Every span recorded on this thread during the batch — the execute span
+  // below and the session/pipeline stage spans inside the forward — carries
+  // the batch id, which is the join key stitching each rider's request tree
+  // to the shared batch.
+  obs::ContextScope batch_scope({0, batch_id});
   const auto t_start = Clock::now();
   int64_t samples = 0;
   for (const Pending& p : batch) samples += p.x.dim(0);
 
-  auto fail_all = [&](const Status& status) {
-    for (Pending& p : batch) {
-      if (p.embed) {
-        p.tensor.set_value(status);
-      } else {
-        p.labels.set_value(status);
-      }
-    }
-  };
+  // Run the (merged) forward and stage per-request results; promises are
+  // only resolved in the finalize loop after each request's BatchStats and
+  // queue-wait span are published — the promise/future edge is what makes
+  // the stats visible to the submitter without extra synchronization.
+  Status failure = Status::OK();
+  std::vector<std::vector<int64_t>> label_parts;
+  std::vector<Tensor> tensor_parts;
+  const int64_t exec_start_ns = obs::TraceNowNs();
   if (session == nullptr) {
-    fail_all(Status::FailedPrecondition("no session installed"));
-    return;
-  }
-
-  // Single-request batches skip the concat; merged ones run one forward and
-  // split results back by each request's sample count.
-  Tensor merged;
-  if (batch.size() == 1) {
-    merged = batch[0].x;
+    failure = Status::FailedPrecondition("no session installed");
   } else {
-    std::vector<Tensor> parts;
-    parts.reserve(batch.size());
-    for (const Pending& p : batch) parts.push_back(p.x);
-    merged = Concat(parts, 0);
-  }
-
-  if (batch[0].embed) {
-    auto embeddings = session->Embed(merged);
-    if (!embeddings.ok()) {
-      fail_all(embeddings.status());
+    TSFM_TRACE_SPAN("serve.batch.execute");
+    // Single-request batches skip the concat; merged ones run one forward
+    // and split results back by each request's sample count.
+    Tensor merged;
+    if (batch.size() == 1) {
+      merged = batch[0].x;
     } else {
-      int64_t row = 0;
-      for (Pending& p : batch) {
-        const int64_t n = p.x.dim(0);
-        p.tensor.set_value(Slice(*embeddings, 0, row, row + n).Contiguous());
-        row += n;
+      std::vector<Tensor> parts;
+      parts.reserve(batch.size());
+      for (const Pending& p : batch) parts.push_back(p.x);
+      merged = Concat(parts, 0);
+    }
+
+    if (batch[0].embed) {
+      auto embeddings = session->Embed(merged);
+      if (!embeddings.ok()) {
+        failure = embeddings.status();
+      } else {
+        int64_t row = 0;
+        for (const Pending& p : batch) {
+          const int64_t n = p.x.dim(0);
+          tensor_parts.push_back(
+              Slice(*embeddings, 0, row, row + n).Contiguous());
+          row += n;
+        }
+      }
+    } else {
+      auto labels = session->PredictBatch(merged);
+      if (!labels.ok()) {
+        failure = labels.status();
+      } else {
+        size_t row = 0;
+        for (const Pending& p : batch) {
+          const size_t n = static_cast<size_t>(p.x.dim(0));
+          label_parts.emplace_back(labels->begin() + row,
+                                   labels->begin() + row + n);
+          row += n;
+        }
       }
     }
-  } else {
-    auto labels = session->PredictBatch(merged);
-    if (!labels.ok()) {
-      fail_all(labels.status());
-    } else {
-      size_t row = 0;
-      for (Pending& p : batch) {
-        const size_t n = static_cast<size_t>(p.x.dim(0));
-        p.labels.set_value(std::vector<int64_t>(labels->begin() + row,
-                                                labels->begin() + row + n));
-        row += n;
-      }
-    }
   }
+  const int64_t exec_end_ns = obs::TraceNowNs();
+  const int64_t execute_us = (exec_end_ns - exec_start_ns) / 1000;
 
+  // Publish batch metrics before any promise resolves: a submitter that has
+  // seen its future complete must also see these counts.
   BatchMetrics& m = Metrics();
   m.batches->Add(1);
   if (batch.size() > 1) m.merged_requests->Add(batch.size());
   m.batch_size->Observe(static_cast<double>(samples));
   m.execute_seconds->Observe(
       std::chrono::duration<double>(Clock::now() - t_start).count());
+
+  const bool tracing = obs::TraceEnabled();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    if (p.stats != nullptr) {
+      p.stats->batch_id = batch_id;
+      p.stats->queue_us = (exec_start_ns - p.enqueue_ns) / 1000;
+      p.stats->execute_us = execute_us;
+      p.stats->batch_samples = samples;
+      p.stats->batch_requests = static_cast<int64_t>(batch.size());
+    }
+    if (tracing) {
+      // Retroactive per-request queue-wait span: its trace_id ties it to
+      // the request's tree, its batch_id to the shared execute span above.
+      obs::RecordSpan("serve.queue_wait", p.enqueue_ns,
+                      exec_start_ns - p.enqueue_ns,
+                      {p.meta.trace_id, batch_id});
+    }
+    if (!failure.ok()) {
+      if (p.embed) {
+        p.tensor.set_value(failure);
+      } else {
+        p.labels.set_value(failure);
+      }
+    } else if (p.embed) {
+      p.tensor.set_value(std::move(tensor_parts[i]));
+    } else {
+      p.labels.set_value(std::move(label_parts[i]));
+    }
+  }
 }
 
 void MicroBatcher::WorkerLoop() {

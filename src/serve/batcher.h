@@ -26,6 +26,25 @@ struct BatchOptions {
   int64_t max_batch = 64;
 };
 
+/// Request identity carried into the batcher: `trace_id` stitches the
+/// request's spans (queue wait, the batch it rode in) into the client's
+/// trace; `request_id` is the wire-level id, echoed into the access log.
+struct RequestMeta {
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
+};
+
+/// Per-request batching outcome, filled by the worker *before* the
+/// request's future resolves (the promise/future edge publishes it, so the
+/// submitter may read it after future.get() with no extra synchronization).
+struct BatchStats {
+  uint64_t batch_id = 0;      // process-unique id of the executed batch
+  int64_t queue_us = 0;       // enqueue -> batch execute start
+  int64_t execute_us = 0;     // merged forward duration
+  int64_t batch_samples = 0;  // total samples in the batch this request rode
+  int64_t batch_requests = 0; // number of requests merged into it
+};
+
 /// Coalesces concurrent classify/embed requests into single
 /// PredictBatch/Embed calls on the current InferenceSession.
 ///
@@ -53,11 +72,16 @@ class MicroBatcher {
 
   /// Enqueues a (N, T, D) batch for classification; the future resolves to
   /// the labels (or the session's error). After Stop, submissions fail
-  /// immediately with ResourceExhausted.
-  std::future<Result<std::vector<int64_t>>> SubmitClassify(Tensor x);
+  /// immediately with ResourceExhausted. `meta` propagates the request's
+  /// trace context into the batch's spans; a non-null `stats` (which must
+  /// outlive the future) receives the request's batching outcome before the
+  /// future resolves.
+  std::future<Result<std::vector<int64_t>>> SubmitClassify(
+      Tensor x, RequestMeta meta = {}, BatchStats* stats = nullptr);
 
   /// Enqueues a (N, T, D) batch for embedding; resolves to a (N, E) tensor.
-  std::future<Result<Tensor>> SubmitEmbed(Tensor x);
+  std::future<Result<Tensor>> SubmitEmbed(Tensor x, RequestMeta meta = {},
+                                          BatchStats* stats = nullptr);
 
   /// Samples currently queued (admission-control input).
   int64_t pending_samples() const;
@@ -71,6 +95,9 @@ class MicroBatcher {
   struct Pending {
     Tensor x;
     bool embed = false;
+    RequestMeta meta;
+    BatchStats* stats = nullptr;  // owned by the submitter
+    int64_t enqueue_ns = 0;       // obs::TraceNowNs() at submit time
     std::promise<Result<std::vector<int64_t>>> labels;
     std::promise<Result<Tensor>> tensor;
   };

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace tsfm::serve {
 
 Result<Client> Client::Connect(const std::string& host, int port) {
@@ -37,7 +39,9 @@ Result<Client> Client::Connect(const std::string& host, int port) {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), next_id_(other.next_id_) {
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      last_trace_id_(other.last_trace_id_) {
   other.fd_ = -1;
 }
 
@@ -46,6 +50,7 @@ Client& Client::operator=(Client&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     next_id_ = other.next_id_;
+    last_trace_id_ = other.last_trace_id_;
     other.fd_ = -1;
   }
   return *this;
@@ -55,9 +60,11 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<Frame> Client::Call(MessageType type, std::string payload) {
+Result<Frame> Client::Call(MessageType type, std::string payload,
+                           uint64_t trace_id) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
   Frame request{type, next_id_++, std::move(payload)};
+  request.trace_id = trace_id;
   TSFM_RETURN_IF_ERROR(WriteFrame(fd_, request));
   Frame response;
   TSFM_RETURN_IF_ERROR(ReadFrame(fd_, &response, nullptr));
@@ -83,9 +90,15 @@ Result<std::vector<int64_t>> Client::Classify(const Tensor& x) {
   if (batch.ndim() != 3) {
     return Status::InvalidArgument("Classify expects (N, T, D) or (T, D)");
   }
+  // Each predict call mints a trace id that rides the v2 frame to the
+  // server; the local client span carries the same id so the client side of
+  // the round-trip stitches into the server's tree.
+  last_trace_id_ = obs::NewTraceId();
+  obs::ContextScope ctx({last_trace_id_, 0});
+  TSFM_TRACE_SPAN("serve.client.request");
   TSFM_ASSIGN_OR_RETURN(Frame response,
                         Call(MessageType::kClassifyRequest,
-                             EncodeTensorPayload(batch)));
+                             EncodeTensorPayload(batch), last_trace_id_));
   if (response.type != MessageType::kClassifyResponse) {
     return Status::Internal("unexpected response type");
   }
@@ -103,9 +116,13 @@ Result<Tensor> Client::Embed(const Tensor& x) {
   if (batch.ndim() != 3) {
     return Status::InvalidArgument("Embed expects (N, T, D) or (T, D)");
   }
+  last_trace_id_ = obs::NewTraceId();
+  obs::ContextScope ctx({last_trace_id_, 0});
+  TSFM_TRACE_SPAN("serve.client.request");
   TSFM_ASSIGN_OR_RETURN(
       Frame response,
-      Call(MessageType::kEmbedRequest, EncodeTensorPayload(batch)));
+      Call(MessageType::kEmbedRequest, EncodeTensorPayload(batch),
+           last_trace_id_));
   if (response.type != MessageType::kEmbedResponse) {
     return Status::Internal("unexpected response type");
   }
@@ -132,6 +149,15 @@ Result<std::string> Client::Reload(const std::string& prefix) {
 Result<std::string> Client::Stats() {
   TSFM_ASSIGN_OR_RETURN(Frame response, Call(MessageType::kStatsRequest, ""));
   if (response.type != MessageType::kStatsResponse) {
+    return Status::Internal("unexpected response type");
+  }
+  return DecodeStringPayload(response.payload);
+}
+
+Result<std::string> Client::MetricsText() {
+  TSFM_ASSIGN_OR_RETURN(Frame response,
+                        Call(MessageType::kMetricsRequest, ""));
+  if (response.type != MessageType::kMetricsResponse) {
     return Status::Internal("unexpected response type");
   }
   return DecodeStringPayload(response.payload);

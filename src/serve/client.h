@@ -44,11 +44,23 @@ class Client {
   /// The server's metrics registry dump (obs RenderText format).
   Result<std::string> Stats();
 
+  /// The server's live metrics in Prometheus text exposition format
+  /// (kMetricsRequest; forces an SLO evaluation server-side first so
+  /// serve.slo.* gauges are current at scrape time).
+  Result<std::string> MetricsText();
+
   /// Requests a graceful drain; returns once the server acknowledged.
   Status Shutdown();
 
   /// Raw frame round-trip (exposed for protocol tests and the fuzz matrix).
-  Result<Frame> Call(MessageType type, std::string payload);
+  /// `trace_id` != 0 upgrades the request frame to the v2 context-carrying
+  /// wire variant.
+  Result<Frame> Call(MessageType type, std::string payload,
+                     uint64_t trace_id = 0);
+
+  /// Trace id minted for the most recent Classify/Embed call (0 before the
+  /// first). Tests use this to find the request's spans in a trace dump.
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
   int fd() const { return fd_; }
 
@@ -57,6 +69,7 @@ class Client {
 
   int fd_ = -1;
   uint64_t next_id_ = 1;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace tsfm::serve

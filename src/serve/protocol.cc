@@ -99,19 +99,32 @@ Status WriteAll(int fd, const void* buf, size_t n) {
 
 bool IsKnownMessageType(uint16_t type) {
   return type >= static_cast<uint16_t>(MessageType::kClassifyRequest) &&
-         type <= static_cast<uint16_t>(MessageType::kShutdownResponse);
+         type <= static_cast<uint16_t>(MessageType::kMetricsResponse);
 }
 
 std::string EncodeFrame(const Frame& frame) {
+  // A frame without context encodes as plain v1, so the wire stays
+  // byte-identical for every pre-context peer and for all responses.
+  const bool with_ctx = frame.trace_id != 0;
   std::string out;
-  out.reserve(kFrameHeaderBytes + frame.payload.size() + kFrameTrailerBytes);
+  out.reserve(kFrameHeaderBytes + (with_ctx ? 2 + kContextBytes : 0) +
+              frame.payload.size() + kFrameTrailerBytes);
   PutU32(&out, kFrameMagic);
-  PutU16(&out, kProtocolVersion);
+  PutU16(&out, with_ctx ? kProtocolVersionContext : kProtocolVersion);
   PutU16(&out, static_cast<uint16_t>(frame.type));
   PutU64(&out, frame.request_id);
   PutU64(&out, static_cast<uint64_t>(frame.payload.size()));
+  uint32_t crc = 0;
+  if (with_ctx) {
+    std::string ctx;
+    PutU64(&ctx, frame.trace_id);
+    PutU64(&ctx, 0);  // reserved
+    PutU16(&out, static_cast<uint16_t>(ctx.size()));
+    out += ctx;
+    crc = io::Crc32(ctx.data(), ctx.size());
+  }
   out += frame.payload;
-  PutU32(&out, io::Crc32(frame.payload.data(), frame.payload.size()));
+  PutU32(&out, io::Crc32(frame.payload.data(), frame.payload.size(), crc));
   return out;
 }
 
@@ -124,10 +137,11 @@ Status ParseFrameHeader(const uint8_t* data, FrameHeader* out) {
   std::memcpy(&out->request_id, data + 8, 8);
   std::memcpy(&out->payload_size, data + 16, 8);
   if (magic != kFrameMagic) return Status::InvalidArgument("bad frame magic");
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersion && version != kProtocolVersionContext) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(version));
   }
+  out->version = version;
   if (!IsKnownMessageType(type)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(type));
@@ -270,10 +284,35 @@ Status ReadFrame(int fd, Frame* out, const std::atomic<bool>* stop) {
   TSFM_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header), stop, &started));
   FrameHeader parsed;
   TSFM_RETURN_IF_ERROR(ParseFrameHeader(header, &parsed));
-  // payload_size was validated against kMaxFramePayload above, so this
-  // resize is bounded no matter what the peer claims.
   out->type = parsed.type;
   out->request_id = parsed.request_id;
+  out->trace_id = 0;
+  uint32_t ctx_crc = 0;
+  if (parsed.version == kProtocolVersionContext) {
+    uint8_t len_bytes[2];
+    TSFM_RETURN_IF_ERROR(ReadExact(fd, len_bytes, sizeof(len_bytes), stop,
+                                   &started));
+    uint16_t ctx_len;
+    std::memcpy(&ctx_len, len_bytes, sizeof(ctx_len));
+    // Validated before any read of the block itself; the cap fits in a
+    // stack buffer, so a hostile ctx_len never causes an allocation.
+    if (ctx_len > kMaxContextBytes) {
+      return Status::InvalidArgument(
+          "context block " + std::to_string(ctx_len) + " exceeds limit " +
+          std::to_string(kMaxContextBytes));
+    }
+    uint8_t ctx[kMaxContextBytes];
+    if (ctx_len > 0) {
+      TSFM_RETURN_IF_ERROR(ReadExact(fd, ctx, ctx_len, stop, &started));
+      ctx_crc = io::Crc32(ctx, ctx_len);
+    }
+    // Known fields up front; a longer (future) block's tail is ignored.
+    if (ctx_len >= sizeof(uint64_t)) {
+      std::memcpy(&out->trace_id, ctx, sizeof(uint64_t));
+    }
+  }
+  // payload_size was validated against kMaxFramePayload above, so this
+  // resize is bounded no matter what the peer claims.
   out->payload.resize(parsed.payload_size);
   if (parsed.payload_size > 0) {
     TSFM_RETURN_IF_ERROR(ReadExact(fd, out->payload.data(),
@@ -284,7 +323,10 @@ Status ReadFrame(int fd, Frame* out, const std::atomic<bool>* stop) {
                                  &started));
   uint32_t crc;
   std::memcpy(&crc, trailer, sizeof(crc));
-  if (crc != io::Crc32(out->payload.data(), out->payload.size())) {
+  // CRC-32 chains: seeding the payload pass with the context block's CRC is
+  // equivalent to hashing ctx||payload, so v2 covers both, v1 just the
+  // payload.
+  if (crc != io::Crc32(out->payload.data(), out->payload.size(), ctx_crc)) {
     return Status::InvalidArgument("frame CRC mismatch");
   }
   return Status::OK();

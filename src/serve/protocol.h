@@ -16,25 +16,42 @@ namespace tsfm::serve {
 // Wire format. One request or response per frame:
 //
 //   u32 magic         "TSV1" (0x31565354 little-endian)
-//   u16 version       protocol version (kProtocolVersion)
+//   u16 version       1 (plain) or 2 (frame carries a context block)
 //   u16 type          MessageType
 //   u64 request_id    client-chosen, echoed verbatim in the response
 //   u64 payload_size  exact byte count of the payload (<= kMaxFramePayload)
+//   [v2 only]
+//   u16 ctx_len       context block length (<= kMaxContextBytes)
+//   ...ctx...         u64 trace_id, u64 reserved (longer blocks within the
+//                     cap are legal; unknown trailing bytes are ignored)
+//   [end v2]
 //   ...payload...
-//   u32 crc32         CRC-32 of the payload bytes (io::Crc32)
+//   u32 crc32         CRC-32 (io::Crc32) of the payload bytes — and, for v2
+//                     frames, of the context block chained before them
 //
-// The same discipline as the src/io artifact container: every header field is
-// validated before any allocation sized by it, so a hostile or corrupted
-// length field can never demand an unbounded buffer, and a CRC mismatch or
-// truncation surfaces as a protocol error, never a crash.
+// Version 2 is a strict superset of version 1: a v1 frame is a v2 frame
+// with no context block, both sides accept either, and a request's
+// trace_id rides the wire so the server can stitch its spans into the
+// client's trace. The same discipline as the src/io artifact container:
+// every header field is validated before any allocation sized by it —
+// ctx_len is checked against kMaxContextBytes (which fits on the stack, so
+// a context read never allocates at all), and a hostile length surfaces as
+// a protocol error, never a crash.
 
 inline constexpr uint32_t kFrameMagic = 0x31565354;  // "TSV1"
 inline constexpr uint16_t kProtocolVersion = 1;
+/// Frames of this version carry a trace/request context block.
+inline constexpr uint16_t kProtocolVersionContext = 2;
 /// Hard cap on a frame payload (64 MiB ~ a 4M-element float batch). Anything
 /// larger is rejected from the header alone.
 inline constexpr uint64_t kMaxFramePayload = 64ull << 20;
 inline constexpr size_t kFrameHeaderBytes = 24;
 inline constexpr size_t kFrameTrailerBytes = 4;
+/// Hard cap on a v2 context block; small enough to read into a stack
+/// buffer, so hostile ctx_len values are rejected before any allocation.
+inline constexpr size_t kMaxContextBytes = 64;
+/// Bytes this implementation actually encodes (trace_id + reserved).
+inline constexpr size_t kContextBytes = 16;
 
 /// Frame kinds. Requests are even-free-form; each maps to one response kind
 /// (or kError / kBusy).
@@ -53,32 +70,37 @@ enum class MessageType : uint16_t {
   kStatsResponse = 12,    // string payload: metrics registry RenderText()
   kShutdownRequest = 13,  // empty -> kShutdownResponse, then server drains
   kShutdownResponse = 14,
+  kMetricsRequest = 15,   // empty -> kMetricsResponse (live scrape verb)
+  kMetricsResponse = 16,  // string payload: registry RenderPrometheus()
 };
 
 /// True for the values actually named in MessageType (used to reject frames
 /// whose type field is garbage before reading their payload).
 bool IsKnownMessageType(uint16_t type);
 
-/// A decoded frame.
+/// A decoded frame. A nonzero `trace_id` makes EncodeFrame emit a v2 frame
+/// carrying it in the context block; decoding a v1 frame leaves it 0.
 struct Frame {
   MessageType type = MessageType::kError;
   uint64_t request_id = 0;
   std::string payload;
+  uint64_t trace_id = 0;
 };
 
-/// Validated header fields (payload not yet read).
+/// Validated header fields (payload and context not yet read).
 struct FrameHeader {
   MessageType type;
   uint64_t request_id;
   uint64_t payload_size;
+  uint16_t version = kProtocolVersion;
 };
 
-/// Serializes a frame (header + payload + CRC trailer).
+/// Serializes a frame (header [+ context block] + payload + CRC trailer).
 std::string EncodeFrame(const Frame& frame);
 
-/// Parses and validates `kFrameHeaderBytes` of header: magic, version, known
-/// type, and payload_size <= kMaxFramePayload. InvalidArgument on any
-/// violation — the caller must not read a payload for a rejected header.
+/// Parses and validates `kFrameHeaderBytes` of header: magic, version (1 or
+/// 2), known type, and payload_size <= kMaxFramePayload. InvalidArgument on
+/// any violation — the caller must not read a payload for a rejected header.
 Status ParseFrameHeader(const uint8_t* data, FrameHeader* out);
 
 // ---------------------------------------------------------------------------

@@ -23,25 +23,32 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Traffic-facing serve metrics live on rolling-window instruments so a
+// long-lived server can answer "what is p99 / the shed rate *right now*";
+// their snapshot keys are a superset of the old cumulative ones, so nothing
+// downstream changes. Structural counters (connections, reloads, protocol
+// errors) stay cumulative.
 struct ServerMetrics {
-  obs::Counter* requests;
-  obs::Counter* responses;
-  obs::Counter* shed;
+  obs::RollingCounter* requests;
+  obs::RollingCounter* responses;
+  obs::RollingCounter* errors;
+  obs::RollingCounter* shed;
   obs::Counter* protocol_errors;
   obs::Counter* reloads;
   obs::Counter* connections;
-  obs::Histogram* request_seconds;
+  obs::RollingHistogram* request_seconds;
 };
 
 ServerMetrics& Metrics() {
   auto& r = obs::Registry::Instance();
-  static ServerMetrics m{r.GetCounter("serve.requests"),
-                         r.GetCounter("serve.responses"),
-                         r.GetCounter("serve.shed"),
+  static ServerMetrics m{r.GetRollingCounter("serve.requests"),
+                         r.GetRollingCounter("serve.responses"),
+                         r.GetRollingCounter("serve.errors"),
+                         r.GetRollingCounter("serve.shed"),
                          r.GetCounter("serve.protocol_errors"),
                          r.GetCounter("serve.reloads"),
                          r.GetCounter("serve.connections"),
-                         r.GetHistogram("serve.request_seconds")};
+                         r.GetRollingHistogram("serve.request_seconds")};
   return m;
 }
 
@@ -67,6 +74,18 @@ Result<std::unique_ptr<Server>> Server::Start(pipeline::Registry* registry,
   const std::string name = server->options_.session_name;
   server->batcher_ = std::make_unique<MicroBatcher>(
       [reg, name] { return reg->Get(name); }, server->options_.batch);
+  auto& metrics_registry = obs::Registry::Instance();
+  server->latency_classify_ = metrics_registry.GetRollingHistogram(
+      obs::LabeledName("serve.request.latency",
+                       {{"model", name}, {"op", "classify"}}));
+  server->latency_embed_ = metrics_registry.GetRollingHistogram(
+      obs::LabeledName("serve.request.latency",
+                       {{"model", name}, {"op", "embed"}}));
+  ServerMetrics& m = Metrics();
+  server->slo_ = std::make_unique<SloTracker>(
+      server->options_.slo, m.request_seconds, m.requests, m.errors, m.shed);
+  TSFM_ASSIGN_OR_RETURN(server->access_log_,
+                        AccessLog::Open(server->options_.access_log));
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }
@@ -202,10 +221,22 @@ bool Server::HandleFrame(int fd, Frame frame) {
                            EncodeStringPayload(
                                obs::Registry::Instance().RenderText())})
           .ok();
+    case MessageType::kMetricsRequest:
+      // Live scrape: refresh the SLO gauges first so a poller sees current
+      // breach state, then render the whole registry as Prometheus text.
+      if (slo_ != nullptr) slo_->Evaluate(/*force=*/true);
+      return WriteFrame(
+                 fd,
+                 Frame{MessageType::kMetricsResponse, frame.request_id,
+                       EncodeStringPayload(
+                           obs::Registry::Instance().RenderPrometheus())})
+          .ok();
     case MessageType::kShutdownRequest:
+      // Flag before ack: a client that saw the acknowledgement must observe
+      // ShutdownRequested() == true.
+      shutdown_requested_.store(true, std::memory_order_relaxed);
       WriteFrame(fd,
                  Frame{MessageType::kShutdownResponse, frame.request_id, ""});
-      shutdown_requested_.store(true, std::memory_order_relaxed);
       return false;
     default: {
       // A response type on the request path is a peer bug; treat it like any
@@ -220,41 +251,71 @@ bool Server::HandleFrame(int fd, Frame frame) {
 }
 
 void Server::HandlePredict(int fd, Frame frame) {
+  // The wire-carried trace id becomes this thread's context, so the request
+  // span below (and anything recorded before the batcher takes over)
+  // stitches into the client's trace.
+  obs::ContextScope request_ctx({frame.trace_id, 0});
   TSFM_TRACE_SPAN("serve.request");
   const auto t_start = Clock::now();
   ServerMetrics& m = Metrics();
   m.requests->Add(1);
 
   const bool embed = frame.type == MessageType::kEmbedRequest;
+  const char* op = embed ? "embed" : "classify";
+  BatchStats stats;
+  auto log_request = [&](int64_t samples, const char* status) {
+    if (access_log_ == nullptr) return;
+    AccessLog::Entry entry;
+    entry.request_id = frame.request_id;
+    entry.trace_id = frame.trace_id;
+    entry.batch_id = stats.batch_id;
+    entry.op = op;
+    entry.samples = samples;
+    entry.queue_us = stats.queue_us;
+    entry.execute_us = stats.execute_us;
+    entry.total_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         Clock::now() - t_start)
+                         .count();
+    entry.status = status;
+    access_log_->Record(entry);
+  };
+
   auto request = DecodeTensorPayload(frame.payload, /*expected_ndim=*/3);
   if (!request.ok()) {
     m.protocol_errors->Add(1);
+    m.errors->Add(1);
     WriteFrame(fd, Frame{MessageType::kError, frame.request_id,
                          EncodeErrorPayload(request.status())});
+    log_request(0, "bad_request");
     return;
   }
+  const int64_t samples = request->dim(0);
 
   // Admission control: shed with an explicit BUSY instead of queueing past
   // the cap — and when a live budget is configured, a tripped budget monitor
   // sheds too (the watchdog degrades to load-shedding here rather than
   // aborting the process as it does for offline runs).
-  bool busy = batcher_->pending_samples() + request->dim(0) >
-              options_.max_pending;
+  bool busy = batcher_->pending_samples() + samples > options_.max_pending;
   if (!busy && options_.budget_admission && obs::BudgetConfigured()) {
     busy = !obs::CheckBudget("serve.admission").ok();
   }
   if (busy) {
     m.shed->Add(1);
     WriteFrame(fd, Frame{MessageType::kBusy, frame.request_id, ""});
+    log_request(samples, "busy");
+    slo_->Evaluate();
     return;
   }
 
+  const RequestMeta meta{frame.request_id, frame.trace_id};
+  bool ok;
   Frame response;
   response.request_id = frame.request_id;
   if (embed) {
-    auto future = batcher_->SubmitEmbed(std::move(*request));
+    auto future = batcher_->SubmitEmbed(std::move(*request), meta, &stats);
     Result<Tensor> embeddings = future.get();
-    if (embeddings.ok()) {
+    ok = embeddings.ok();
+    if (ok) {
       response.type = MessageType::kEmbedResponse;
       response.payload = EncodeTensorPayload(*embeddings);
     } else {
@@ -262,9 +323,10 @@ void Server::HandlePredict(int fd, Frame frame) {
       response.payload = EncodeErrorPayload(embeddings.status());
     }
   } else {
-    auto future = batcher_->SubmitClassify(std::move(*request));
+    auto future = batcher_->SubmitClassify(std::move(*request), meta, &stats);
     Result<std::vector<int64_t>> labels = future.get();
-    if (labels.ok()) {
+    ok = labels.ok();
+    if (ok) {
       response.type = MessageType::kClassifyResponse;
       response.payload = EncodeLabelsPayload(*labels);
     } else {
@@ -272,9 +334,14 @@ void Server::HandlePredict(int fd, Frame frame) {
       response.payload = EncodeErrorPayload(labels.status());
     }
   }
+  if (!ok) m.errors->Add(1);
   if (WriteFrame(fd, response).ok()) m.responses->Add(1);
-  m.request_seconds->Observe(
-      std::chrono::duration<double>(Clock::now() - t_start).count());
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+  m.request_seconds->Observe(seconds);
+  (embed ? latency_embed_ : latency_classify_)->Observe(seconds);
+  log_request(samples, ok ? "ok" : "error");
+  slo_->Evaluate();
 }
 
 void Server::Stop() {

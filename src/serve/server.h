@@ -14,6 +14,7 @@
 #include "pipeline/registry.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
+#include "serve/slo.h"
 
 namespace tsfm::serve {
 
@@ -37,6 +38,11 @@ struct ServerOptions {
   /// given prefix and installs it under session_name. Unset = reload
   /// requests answered with Unimplemented.
   std::function<Status(const std::string& prefix)> reload_fn;
+  /// SLO thresholds over the rolling 60 s window (serve/slo.h); inert when
+  /// both thresholds are zero.
+  SloOptions slo;
+  /// Per-request JSON access log; disabled when the path is empty.
+  AccessLogOptions access_log;
 };
 
 /// Multi-threaded TCP inference server over the length-prefixed frame
@@ -100,6 +106,12 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::unique_ptr<MicroBatcher> batcher_;
+  std::unique_ptr<SloTracker> slo_;
+  std::unique_ptr<AccessLog> access_log_;
+  /// Per-op rolling latency, labeled with the op and this server's model
+  /// (session) name: serve.request.latency{model=...,op=classify|embed}.
+  obs::RollingHistogram* latency_classify_ = nullptr;
+  obs::RollingHistogram* latency_embed_ = nullptr;
   std::thread accept_thread_;
 
   struct Conn {

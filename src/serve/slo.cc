@@ -1,0 +1,146 @@
+#include "serve/slo.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace tsfm::serve {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WallMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int64_t kEvalIntervalNs = 1'000'000'000;  // at most ~1 eval/sec
+
+}  // namespace
+
+SloTracker::SloTracker(SloOptions options,
+                       obs::RollingHistogram* latency_seconds,
+                       obs::RollingCounter* requests,
+                       obs::RollingCounter* errors,
+                       obs::RollingCounter* shed)
+    : options_(options),
+      latency_seconds_(latency_seconds),
+      requests_(requests),
+      errors_(errors),
+      shed_(shed),
+      breaches_(obs::Registry::Instance().GetCounter("serve.slo.breaches")),
+      ok_gauge_(obs::Registry::Instance().GetGauge("serve.slo.ok")) {
+  if (options_.enabled()) ok_gauge_->Set(1.0);
+}
+
+void SloTracker::Evaluate(bool force) {
+  if (!options_.enabled()) return;
+  const int64_t now = NowNs();
+  int64_t last = last_eval_ns_.load(std::memory_order_relaxed);
+  if (!force) {
+    // One thread wins each interval; everyone else returns without work.
+    if (last >= 0 && now - last < kEvalIntervalNs) return;
+    if (!last_eval_ns_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+      return;
+    }
+  } else {
+    last_eval_ns_.store(now, std::memory_order_relaxed);
+  }
+
+  const double p99_ms = latency_seconds_->WindowPercentile(0.99) * 1000.0;
+  const double window_requests =
+      static_cast<double>(requests_->WindowCount());
+  const double window_failures = static_cast<double>(
+      errors_->WindowCount() + shed_->WindowCount());
+  const double error_rate =
+      window_requests > 0.0 ? window_failures / window_requests : 0.0;
+
+  const bool latency_breach =
+      options_.p99_ms > 0.0 && latency_seconds_->WindowCount() > 0 &&
+      p99_ms > options_.p99_ms;
+  const bool error_breach = options_.error_rate > 0.0 &&
+                            window_requests > 0.0 &&
+                            error_rate > options_.error_rate;
+  const bool breach = latency_breach || error_breach;
+
+  const bool was = breach_.exchange(breach, std::memory_order_relaxed);
+  ok_gauge_->Set(breach ? 0.0 : 1.0);
+  if (was == breach) return;
+
+  // Transition edge: one structured stderr event, counter on entry.
+  std::lock_guard<std::mutex> lock(transition_mu_);
+  if (breach) breaches_->Add(1);
+  std::fprintf(
+      stderr,
+      "{\"event\":\"%s\",\"ts_ms\":%lld,\"window_s\":%.0f,"
+      "\"p99_ms\":%.3f,\"slo_p99_ms\":%.3f,\"error_rate\":%.4f,"
+      "\"slo_error_rate\":%.4f,\"window_requests\":%.0f}\n",
+      breach ? "slo_breach" : "slo_recovered",
+      static_cast<long long>(WallMillis()), obs::kRollingWindowSeconds,
+      p99_ms, options_.p99_ms, error_rate, options_.error_rate,
+      window_requests);
+  std::fflush(stderr);
+}
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(
+    const AccessLogOptions& options) {
+  if (options.path.empty()) return std::unique_ptr<AccessLog>();
+  if (options.sample < 1) {
+    return Status::InvalidArgument("access-log sample must be >= 1");
+  }
+  if (options.path == "stderr") {
+    return std::unique_ptr<AccessLog>(
+        new AccessLog(stderr, /*owned=*/false, options.sample));
+  }
+  if (options.path == "stdout") {
+    return std::unique_ptr<AccessLog>(
+        new AccessLog(stdout, /*owned=*/false, options.sample));
+  }
+  std::FILE* f = std::fopen(options.path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open access log " + options.path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<AccessLog>(
+      new AccessLog(f, /*owned=*/true, options.sample));
+}
+
+AccessLog::~AccessLog() {
+  if (owned_ && out_ != nullptr) std::fclose(out_);
+}
+
+void AccessLog::Record(const Entry& entry) {
+  // Sampling counts every request so "every Nth" stays uniform under
+  // concurrency; only the kept ones take the write lock.
+  const uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  if (n % static_cast<uint64_t>(sample_) != 0) return;
+  char buf[512];
+  const int len = std::snprintf(
+      buf, sizeof(buf),
+      "{\"ts_ms\":%lld,\"request_id\":%llu,\"op\":\"%s\",\"samples\":%lld,"
+      "\"trace_id\":%llu,\"batch_id\":%llu,\"queue_us\":%lld,"
+      "\"execute_us\":%lld,\"total_us\":%lld,\"status\":\"%s\"}\n",
+      static_cast<long long>(WallMillis()),
+      static_cast<unsigned long long>(entry.request_id), entry.op,
+      static_cast<long long>(entry.samples),
+      static_cast<unsigned long long>(entry.trace_id),
+      static_cast<unsigned long long>(entry.batch_id),
+      static_cast<long long>(entry.queue_us),
+      static_cast<long long>(entry.execute_us),
+      static_cast<long long>(entry.total_us), entry.status);
+  if (len <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(buf, 1, static_cast<size_t>(len), out_);
+  std::fflush(out_);
+}
+
+}  // namespace tsfm::serve

@@ -5,14 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 #include "resources/measured.h"
 #include "runtime/thread_pool.h"
@@ -24,6 +28,22 @@ namespace {
 double SnapValue(const obs::Snapshot& snap, const std::string& name) {
   auto it = snap.find(name);
   return it == snap.end() ? 0.0 : it->second;
+}
+
+// This suite must run before anything in this binary touches the trace API:
+// the trace metrics provider registers from a namespace-scope initializer in
+// trace.cc, not lazily on first span, so a metrics scrape of a process that
+// never traced still sees trace.dropped / trace.events (both 0).
+TEST(AATraceRegistration, DroppedRegisteredBeforeAnyTracing) {
+  const obs::Snapshot snap = obs::Registry::Instance().TakeSnapshot();
+  ASSERT_NE(snap.find("trace.dropped"), snap.end());
+  ASSERT_NE(snap.find("trace.events"), snap.end());
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "trace.dropped"), 0.0);
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "trace.events"), 0.0);
+  // The exposition endpoint sees it too, before any span was ever recorded.
+  EXPECT_NE(obs::Registry::Instance().RenderPrometheus().find(
+                "tsfm_trace_dropped"),
+            std::string::npos);
 }
 
 TEST(MetricsRegistry, CounterIsStableAndAccumulates) {
@@ -443,6 +463,289 @@ TEST(Metrics, RenderTextListsSortedNames) {
   ASSERT_NE(pos_a, std::string::npos);
   ASSERT_NE(pos_b, std::string::npos);
   EXPECT_LT(pos_a, pos_b);
+}
+
+// ---------------------------------------------------------------------------
+// Rolling-window instruments (obs/rolling.h). Tests freeze the rolling clock
+// so slot rotation is deterministic and window counts are exact.
+
+struct FrozenClock {
+  explicit FrozenClock(int64_t ns) {
+    obs::internal::SetRollingClockForTest(ns);
+  }
+  ~FrozenClock() { obs::internal::SetRollingClockForTest(-1); }
+};
+
+TEST(Rolling, CounterWindowExpiresOldEpochsCumulativeDoesNot) {
+  FrozenClock clock(obs::kRollingSlotNs);  // epoch 1
+  auto* c = obs::Registry::Instance().GetRollingCounter(
+      "obs_test.rolling.counter");
+  c->Add(5);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(c->WindowCount(), 5u);
+
+  obs::internal::SetRollingClockForTest(4 * obs::kRollingSlotNs);
+  c->Add(2);
+  EXPECT_EQ(c->value(), 7u);
+  EXPECT_EQ(c->WindowCount(), 7u);
+
+  // Epoch 1 ages out at epoch 13 (window is kRollingSlots epochs deep);
+  // epoch 4 is still inside.
+  obs::internal::SetRollingClockForTest(13 * obs::kRollingSlotNs);
+  EXPECT_EQ(c->WindowCount(), 2u);
+  EXPECT_EQ(c->value(), 7u);
+
+  // Far future: the whole window is empty, the cumulative total survives.
+  obs::internal::SetRollingClockForTest(40 * obs::kRollingSlotNs);
+  EXPECT_EQ(c->WindowCount(), 0u);
+  EXPECT_DOUBLE_EQ(c->WindowRatePerSec(), 0.0);
+  EXPECT_EQ(c->value(), 7u);
+}
+
+TEST(Rolling, SlotReuseClearsExpiredEpochData) {
+  FrozenClock clock(obs::kRollingSlotNs);  // epoch 1
+  auto* c = obs::Registry::Instance().GetRollingCounter(
+      "obs_test.rolling.reuse");
+  c->Add(100);
+  // Epoch 1 + kRollingSlots maps onto the same ring slot; the rotation CAS
+  // must clear the stale 100 before counting the new 1.
+  obs::internal::SetRollingClockForTest((1 + obs::kRollingSlots) *
+                                        obs::kRollingSlotNs);
+  c->Add(1);
+  EXPECT_EQ(c->WindowCount(), 1u);
+  EXPECT_EQ(c->value(), 101u);
+}
+
+TEST(Rolling, WindowP99RespondsToStepChangeWhileCumulativeLags) {
+  FrozenClock clock(obs::kRollingSlotNs);
+  auto* h = obs::Registry::Instance().GetRollingHistogram(
+      "obs_test.rolling.step");
+  // A long healthy history: 10000 fast observations...
+  for (int i = 0; i < 10000; ++i) h->Observe(0.001);
+  // ...then the latency regime steps up after the old window ages out.
+  obs::internal::SetRollingClockForTest((2 + obs::kRollingSlots) *
+                                        obs::kRollingSlotNs);
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+
+  // The window view sees the regression immediately...
+  EXPECT_EQ(h->WindowCount(), 50u);
+  EXPECT_DOUBLE_EQ(h->WindowPercentile(0.99), 0.5);
+  // ...while the cumulative p99 is still buried under the 10000 fast
+  // observations (rank 0.99 * 10050 lands well inside the fast bucket).
+  EXPECT_LT(h->Percentile(0.99), 0.01);
+  EXPECT_EQ(h->count(), 10050u);
+}
+
+TEST(Rolling, WindowPercentileClampsToObservedExtrema) {
+  FrozenClock clock(obs::kRollingSlotNs);
+  auto* h = obs::Registry::Instance().GetRollingHistogram(
+      "obs_test.rolling.clamp");
+  // All observations identical: every percentile must collapse to exactly
+  // that value (bucket interpolation clamped to observed min/max), on both
+  // the window and the cumulative side.
+  for (int i = 0; i < 100; ++i) h->Observe(3.0);
+  EXPECT_DOUBLE_EQ(h->WindowPercentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h->WindowPercentile(0.99), 3.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 3.0);
+  EXPECT_DOUBLE_EQ(h->min(), 3.0);
+  EXPECT_DOUBLE_EQ(h->max(), 3.0);
+}
+
+TEST(Rolling, EmptyWindowReportsZeroes) {
+  FrozenClock clock(obs::kRollingSlotNs);
+  auto* h = obs::Registry::Instance().GetRollingHistogram(
+      "obs_test.rolling.empty");
+  EXPECT_EQ(h->WindowCount(), 0u);
+  EXPECT_DOUBLE_EQ(h->WindowPercentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+}
+
+TEST(Rolling, EightThreadMergeOnReadIsExactUnderFrozenClock) {
+  FrozenClock clock(obs::kRollingSlotNs);
+  auto* h = obs::Registry::Instance().GetRollingHistogram(
+      "obs_test.rolling.threads");
+  auto* c = obs::Registry::Instance().GetRollingCounter(
+      "obs_test.rolling.threads_count");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+
+  // A reader thread merges the ring continuously while writers hammer it —
+  // this is the TSan-visible part of the merge-on-read contract.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)h->WindowCount();
+      (void)h->WindowPercentile(0.99);
+      (void)c->WindowRatePerSec();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(0.25);
+        c->Add(1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Frozen clock => no rotation can race the writes, so the window merge is
+  // exact, not just an estimate.
+  EXPECT_EQ(h->count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->WindowCount(), uint64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(h->WindowPercentile(0.99), 0.25);
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(c->WindowCount(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(Rolling, SnapshotPublishesWindowKeysNextToCumulative) {
+  FrozenClock clock(obs::kRollingSlotNs);
+  auto& registry = obs::Registry::Instance();
+  auto* h = registry.GetRollingHistogram("obs_test.rolling.snap");
+  auto* c = registry.GetRollingCounter("obs_test.rolling.snap_count");
+  h->Observe(1.0);
+  c->Add(4);
+  const obs::Snapshot snap = registry.TakeSnapshot();
+  // The cumulative keys match what a plain Histogram/Counter would publish
+  // (swapping instrument kinds under a name is invisible to consumers)...
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "obs_test.rolling.snap.count"), 1.0);
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "obs_test.rolling.snap.p99"), 1.0);
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "obs_test.rolling.snap_count"), 4.0);
+  // ...and the window keys ride alongside.
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "obs_test.rolling.snap.window.count"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(SnapValue(snap, "obs_test.rolling.snap.window.p99"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SnapValue(snap, "obs_test.rolling.snap_count.window.count"), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Request context propagation (obs/trace.h ContextScope).
+
+TEST(Context, ScopePropagatesAndNestsPerThread) {
+  EXPECT_EQ(obs::CurrentContext().trace_id, 0u);
+  EXPECT_EQ(obs::CurrentContext().batch_id, 0u);
+  {
+    obs::ContextScope outer({7, 0});
+    EXPECT_EQ(obs::CurrentContext().trace_id, 7u);
+    {
+      obs::ContextScope inner({7, 99});
+      EXPECT_EQ(obs::CurrentContext().trace_id, 7u);
+      EXPECT_EQ(obs::CurrentContext().batch_id, 99u);
+      // The context is thread-local: a fresh thread starts clean.
+      std::thread([] {
+        EXPECT_EQ(obs::CurrentContext().trace_id, 0u);
+        EXPECT_EQ(obs::CurrentContext().batch_id, 0u);
+      }).join();
+    }
+    EXPECT_EQ(obs::CurrentContext().batch_id, 0u);
+    EXPECT_EQ(obs::CurrentContext().trace_id, 7u);
+  }
+  EXPECT_EQ(obs::CurrentContext().trace_id, 0u);
+}
+
+TEST(Context, SpansInheritContextAndExportWithArgs) {
+  obs::EnableTracing();
+  obs::ClearTrace();
+  {
+    obs::ContextScope ctx({0xABCu, 5});
+    TSFM_TRACE_SPAN("obs_test.ctx_span");
+  }
+  { TSFM_TRACE_SPAN("obs_test.bare_span"); }
+  // Retroactive recording under an explicit context (the batcher's
+  // queue-wait path).
+  const int64_t now = obs::TraceNowNs();
+  obs::RecordSpan("obs_test.retro_span", now - 1000, 1000, {0xABCu, 5});
+  obs::DisableTracing();
+
+  uint64_t ctx_trace = 1, ctx_batch = 1;
+  uint64_t bare_trace = 1, retro_batch = 0;
+  for (const obs::TraceEvent& e : obs::TraceSnapshot()) {
+    const std::string name = e.name;
+    if (name == "obs_test.ctx_span") {
+      ctx_trace = e.trace_id;
+      ctx_batch = e.batch_id;
+    } else if (name == "obs_test.bare_span") {
+      bare_trace = e.trace_id;
+    } else if (name == "obs_test.retro_span") {
+      retro_batch = e.batch_id;
+    }
+  }
+  EXPECT_EQ(ctx_trace, 0xABCu);
+  EXPECT_EQ(ctx_batch, 5u);
+  EXPECT_EQ(bare_trace, 0u);
+  EXPECT_EQ(retro_batch, 5u);
+
+  // The chrome://tracing export carries the ids as span args (0xABC = 2748).
+  const std::string path = "obs_test_ctx_trace.json";
+  ASSERT_TRUE(obs::WriteTrace(path));
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"args\":{\"trace_id\":2748,\"batch_id\":5}"),
+            std::string::npos);
+  std::remove(path.c_str());
+  obs::ClearTrace();
+}
+
+TEST(Context, NewTraceIdsAreUniqueAndNonzero) {
+  const uint64_t a = obs::NewTraceId();
+  const uint64_t b = obs::NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (Registry::RenderPrometheus).
+
+TEST(Metrics, RenderPrometheusIsWellFormedAndSorted) {
+  FrozenClock clock(obs::kRollingSlotNs);
+  auto& registry = obs::Registry::Instance();
+  registry.GetCounter("obs_test.prom.counter")->Add(3);
+  registry.GetGauge("obs_test.prom.gauge")->Set(1.5);
+  auto* h = registry.GetHistogram("obs_test.prom.hist");
+  h->Observe(0.5);
+  h->Observe(2.0);
+  auto* labeled = registry.GetRollingHistogram(obs::LabeledName(
+      "obs_test.prom.latency", {{"model", "toy"}, {"op", "classify"}}));
+  labeled->Observe(0.01);
+
+  const std::string text = registry.RenderPrometheus();
+  // Counters get _total and a # TYPE line; dots mangle to underscores.
+  EXPECT_NE(text.find("# TYPE tsfm_obs_test_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsfm_obs_test_prom_counter_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsfm_obs_test_prom_gauge 1.5"), std::string::npos);
+  // Histograms expose ascending buckets ending in +Inf == _count.
+  EXPECT_NE(text.find("# TYPE tsfm_obs_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsfm_obs_test_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsfm_obs_test_prom_hist_count 2"), std::string::npos);
+  // Labeled rolling histograms keep their labels on every series and add
+  // window gauges.
+  EXPECT_NE(
+      text.find("tsfm_obs_test_prom_latency_window_p99"
+                "{model=\"toy\",op=\"classify\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("tsfm_obs_test_prom_latency_count"
+                "{model=\"toy\",op=\"classify\"} 1"),
+      std::string::npos);
+  // Families are emitted in sorted order.
+  EXPECT_LT(text.find("tsfm_obs_test_prom_counter"),
+            text.find("tsfm_obs_test_prom_gauge"));
+  EXPECT_LT(text.find("tsfm_obs_test_prom_gauge"),
+            text.find("tsfm_obs_test_prom_hist"));
 }
 
 }  // namespace

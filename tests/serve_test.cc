@@ -12,9 +12,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +27,7 @@
 #include "data/uea_like.h"
 #include "finetune/classifier.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/registry.h"
 #include "pipeline/session.h"
 #include "serve/batcher.h"
@@ -201,6 +205,92 @@ TEST(ServeProtocolTest, HostileTensorLengthsRejectedWithoutAllocation) {
   uint64_t n = 1ull << 50;
   std::memcpy(labels.data(), &n, sizeof(n));
   EXPECT_FALSE(serve::DecodeLabelsPayload(labels).ok());
+}
+
+TEST(ServeProtocolTest, ContextFrameRoundTripsAndZeroTraceStaysV1) {
+  // trace_id == 0 must encode byte-identical to the pre-context v1 wire.
+  serve::Frame plain{serve::MessageType::kPing, 1, "abc"};
+  const std::string v1 = serve::EncodeFrame(plain);
+  uint16_t version;
+  std::memcpy(&version, v1.data() + 4, 2);
+  EXPECT_EQ(version, serve::kProtocolVersion);
+
+  // A nonzero trace id upgrades the frame to v2 and survives the
+  // round-trip.
+  serve::Frame traced{serve::MessageType::kClassifyRequest, 2,
+                      serve::EncodeTensorPayload(
+                          F().pair.test.x.Narrow(0, 0, 1))};
+  traced.trace_id = 0xDEADBEEFu;
+  const std::string v2 = serve::EncodeFrame(traced);
+  std::memcpy(&version, v2.data() + 4, 2);
+  EXPECT_EQ(version, serve::kProtocolVersionContext);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(serve::WriteFrame(fds[0], traced).ok());
+  serve::Frame in;
+  ASSERT_TRUE(serve::ReadFrame(fds[1], &in, nullptr).ok());
+  EXPECT_EQ(in.trace_id, 0xDEADBEEFu);
+  EXPECT_EQ(in.request_id, 2u);
+  EXPECT_EQ(in.payload, traced.payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocolTest, HostileContextLengthsRejectedWithoutAllocation) {
+  const serve::Frame plain{serve::MessageType::kPing, 3, ""};
+  std::string wire = serve::EncodeFrame(plain);
+  // Upgrade the header to v2 and append a hostile ctx_len: 0xFFFF would be
+  // a 64 KiB read if the reader trusted it; the cap (kMaxContextBytes) must
+  // reject it from the 2 length bytes alone, before any context read or
+  // allocation.
+  const uint16_t v2 = serve::kProtocolVersionContext;
+  std::memcpy(wire.data() + 4, &v2, 2);
+  std::string hostile = wire.substr(0, serve::kFrameHeaderBytes);
+  const uint16_t huge_len = 0xFFFF;
+  hostile.append(reinterpret_cast<const char*>(&huge_len), 2);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[0], hostile.data(), hostile.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(hostile.size()));
+  ::shutdown(fds[0], SHUT_WR);
+  serve::Frame in;
+  const Status s = serve::ReadFrame(fds[1], &in, nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // A v2 frame truncated mid-context must surface as a truncated frame, not
+  // a hang or a crash.
+  std::string truncated = wire.substr(0, serve::kFrameHeaderBytes);
+  const uint16_t claimed = serve::kContextBytes;
+  truncated.append(reinterpret_cast<const char*>(&claimed), 2);
+  truncated.append(4, '\x07');  // 4 of the claimed 16 context bytes
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[0], truncated.data(), truncated.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(truncated.size()));
+  ::shutdown(fds[0], SHUT_WR);
+  EXPECT_FALSE(serve::ReadFrame(fds[1], &in, nullptr).ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // A corrupted context byte must fail the chained CRC (which covers
+  // ctx || payload).
+  serve::Frame traced{serve::MessageType::kPing, 4, "xyz"};
+  traced.trace_id = 77;
+  std::string flipped = serve::EncodeFrame(traced);
+  flipped[serve::kFrameHeaderBytes + 3] ^= 0x40;  // inside the ctx block
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[0], flipped.data(), flipped.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(flipped.size()));
+  ::shutdown(fds[0], SHUT_WR);
+  const Status crc = serve::ReadFrame(fds[1], &in, nullptr);
+  ASSERT_FALSE(crc.ok());
+  EXPECT_NE(crc.ToString().find("CRC"), std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 // ---------------------------------------------------------------------------
@@ -451,6 +541,206 @@ TEST(ServeBatcherTest, MissingSessionSurfacesAsError) {
   auto labels = client->Classify(F().pair.test.x.Narrow(0, 0, 1));
   EXPECT_FALSE(labels.ok());  // clean error frame, not a crash
   (*server)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped observability: trace stitching, the exposition endpoint,
+// SLO tracking, and the access log.
+
+TEST(ServeBatcherTest, StitchedTraceTreeAcrossSharedMicroBatch) {
+  obs::EnableTracing();
+  obs::ClearTrace();
+  auto session = F().session;
+  serve::BatchOptions options;
+  options.window_us = 100000;  // long window: all four submits coalesce
+  options.max_batch = 64;
+  serve::MicroBatcher batcher([session] { return session; }, options);
+
+  // Four concurrent requests, each with its own trace id, ride one batch.
+  constexpr int kRequests = 4;
+  serve::BatchStats stats[kRequests];
+  std::vector<std::future<Result<std::vector<int64_t>>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(batcher.SubmitClassify(
+        F().pair.test.x.Narrow(0, i, 1),
+        serve::RequestMeta{static_cast<uint64_t>(i + 1), 1000u + i},
+        &stats[i]));
+  }
+  for (auto& f : futures) {
+    auto labels = f.get();
+    ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  }
+  batcher.Stop();
+  obs::DisableTracing();
+
+  // The promise/future edge published every request's BatchStats: one
+  // shared nonzero batch id, 4 requests, 4 samples.
+  const uint64_t batch_id = stats[0].batch_id;
+  EXPECT_NE(batch_id, 0u);
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(stats[i].batch_id, batch_id) << i;
+    EXPECT_EQ(stats[i].batch_requests, kRequests) << i;
+    EXPECT_EQ(stats[i].batch_samples, kRequests) << i;
+    EXPECT_GE(stats[i].queue_us, 0) << i;
+    EXPECT_GT(stats[i].execute_us, 0) << i;
+  }
+
+  // Reconstruct the stitched tree from the trace ring: every request owns a
+  // queue-wait span carrying (its trace id, the shared batch id) — the join
+  // key — and the batch-scoped spans (execute, session.predict) carry the
+  // batch id so they attach to all four request trees.
+  int queue_spans = 0;
+  bool execute_span = false, session_span = false;
+  for (const obs::TraceEvent& e : obs::TraceSnapshot()) {
+    const std::string name = e.name;
+    if (name == "serve.queue_wait" && e.batch_id == batch_id &&
+        e.trace_id >= 1000u && e.trace_id < 1000u + kRequests) {
+      ++queue_spans;
+    } else if (name == "serve.batch.execute" && e.batch_id == batch_id) {
+      execute_span = true;
+      EXPECT_EQ(e.trace_id, 0u);  // batch-scoped, owned by no one request
+    } else if (name == "session.predict" && e.batch_id == batch_id) {
+      session_span = true;
+    }
+  }
+  EXPECT_EQ(queue_spans, kRequests);
+  EXPECT_TRUE(execute_span);
+  EXPECT_TRUE(session_span);
+  obs::ClearTrace();
+}
+
+TEST(ServeServerTest, EndToEndTraceStitchesClientThroughServer) {
+  serve::ServerOptions options;
+  auto running = StartServer(options);
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+
+  obs::EnableTracing();
+  obs::ClearTrace();
+  auto labels = client->Classify(F().pair.test.x.Narrow(0, 0, 1));
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+
+  // The id the client minted and sent over the wire names the whole tree.
+  const uint64_t trace_id = client->last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+  bool client_span = false, server_span = false, queue_span = false;
+  uint64_t batch_id = 0;
+  // The handler's serve.request span closes after the response is written,
+  // so the client can get its answer before the span is recorded — poll
+  // briefly instead of snapshotting once.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    client_span = server_span = queue_span = false;
+    batch_id = 0;
+    for (const obs::TraceEvent& e : obs::TraceSnapshot()) {
+      const std::string name = e.name;
+      if (e.trace_id != trace_id) continue;
+      if (name == "serve.client.request") client_span = true;
+      if (name == "serve.request") server_span = true;
+      if (name == "serve.queue_wait") {
+        queue_span = true;
+        batch_id = e.batch_id;
+      }
+    }
+    if (client_span && server_span && queue_span) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  obs::DisableTracing();
+  EXPECT_TRUE(client_span);
+  EXPECT_TRUE(server_span);
+  EXPECT_TRUE(queue_span);
+  EXPECT_NE(batch_id, 0u);  // the request joined a real batch
+  obs::ClearTrace();
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, MetricsVerbServesPrometheusExposition) {
+  auto running = StartServer(serve::ServerOptions{});
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+  auto labels = client->Classify(F().pair.test.x.Narrow(0, 0, 1));
+  ASSERT_TRUE(labels.ok());
+
+  auto text = client->MetricsText();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE tsfm_serve_requests_total counter"),
+            std::string::npos);
+  // The rolling window keys are live right after the request.
+  EXPECT_NE(text->find("tsfm_serve_request_seconds_window_p99"),
+            std::string::npos);
+  EXPECT_NE(text->find("tsfm_serve_requests_window_rate"),
+            std::string::npos);
+  // Per-op latency carries model and op labels.
+  EXPECT_NE(text->find("tsfm_serve_request_latency_window_p99"
+                       "{model=\"default\",op=\"classify\"}"),
+            std::string::npos);
+  // trace.dropped is registered even though tracing never ran here.
+  EXPECT_NE(text->find("tsfm_trace_dropped"), std::string::npos);
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, SloBreachTripsOnImpossibleThreshold) {
+  const double breaches_before = Metric("serve.slo.breaches");
+  serve::ServerOptions options;
+  options.slo.p99_ms = 1e-6;  // no real request can beat a nanosecond SLO
+  auto running = StartServer(options);
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+  auto labels = client->Classify(F().pair.test.x.Narrow(0, 0, 1));
+  ASSERT_TRUE(labels.ok());
+
+  // The scrape verb forces an SLO evaluation, so the breach is visible in
+  // the same exposition payload that reports it.
+  auto text = client->MetricsText();
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("tsfm_serve_slo_ok 0"), std::string::npos);
+  EXPECT_GE(Metric("serve.slo.breaches"), breaches_before + 1.0);
+  running->server->Stop();
+}
+
+TEST(ServeServerTest, AccessLogWritesOneJsonLinePerRequest) {
+  const std::string path = "serve_test_access.log";
+  serve::ServerOptions options;
+  options.access_log.path = path;
+  auto running = StartServer(options);
+  ASSERT_NE(running, nullptr);
+  auto client = serve::Client::Connect("127.0.0.1", running->server->port());
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    auto labels = client->Classify(F().pair.test.x.Narrow(0, i, 1));
+    ASSERT_TRUE(labels.ok());
+  }
+  const uint64_t last_trace = client->last_trace_id();
+  running->server->Stop();
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  int ok_lines = 0;
+  bool saw_last_trace = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    // Every record is one complete JSON object with the fields the loadgen
+    // cross-check keys on.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"request_id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"batch_id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"queue_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"op\":\"classify\""), std::string::npos);
+    if (line.find("\"status\":\"ok\"") != std::string::npos) ++ok_lines;
+    if (line.find("\"trace_id\":" + std::to_string(last_trace)) !=
+        std::string::npos) {
+      saw_last_trace = true;
+    }
+  }
+  EXPECT_EQ(ok_lines, kRequests);
+  EXPECT_TRUE(saw_last_trace);  // the log cross-links into the trace tree
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

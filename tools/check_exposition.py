@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition scraped from `tsfm serve`.
+
+Used by the serve-smoke CI job: the scrape (via `tsfm serve-stats` or the
+kMetricsRequest verb) is piped into this script, which fails on anything a
+real Prometheus server would reject — and, with --require/--require-nonzero,
+on missing or stale series the job depends on.
+
+Checks (stdlib only, exposition format 0.0.4):
+  * every non-comment line matches  name{labels} value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and parseable float value;
+  * label blocks are well-formed (key="value", escaped quotes honored);
+  * a # TYPE line precedes the first sample of its family, at most one per
+    family, with a known type;
+  * histogram families keep their invariants: _bucket le= values ascend,
+    bucket counts are monotonically non-decreasing, the +Inf bucket equals
+    _count (per label set);
+  * --require NAME: at least one sample of NAME exists;
+  * --require-nonzero NAME: at least one sample of NAME exists with a
+    nonzero value (how CI asserts the rolling window is live, not stale).
+
+NAME matches the sample name exactly (labels stripped), so
+`--require-nonzero tsfm_serve_request_latency_window_p99` matches the series
+for every {model,op} label set.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = bad usage/input.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+(-?\d+))?$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_labels(block, errors, lineno):
+    """'{k="v",k2="v2"}' -> dict; reports malformed blocks."""
+    if not block:
+        return {}
+    inner = block[1:-1]
+    labels = {}
+    consumed = 0
+    for m in LABEL_RE.finditer(inner):
+        if m.start() != consumed:
+            break
+        labels[m.group(1)] = m.group(2)
+        consumed = m.end()
+    if consumed != len(inner):
+        errors.append(f"line {lineno}: malformed label block {block!r}")
+    return labels
+
+
+def family_of(name):
+    """Strips histogram series suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(lines):
+    errors = []
+    types = {}          # family -> declared type
+    samples = []        # (name, labels, value, lineno)
+    seen_families = set()
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE comment")
+                    continue
+                _, _, family, ptype = parts
+                if ptype not in KNOWN_TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown type {ptype!r} for "
+                        f"{family}")
+                if family in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {family}")
+                if family in seen_families:
+                    errors.append(
+                        f"line {lineno}: TYPE for {family} after its "
+                        f"samples")
+                types[family] = ptype
+            continue  # HELP and other comments pass through
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, label_block, value_text = m.group(1), m.group(2), m.group(3)
+        if not METRIC_NAME_RE.match(name):
+            errors.append(f"line {lineno}: illegal metric name {name!r}")
+            continue
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(
+                f"line {lineno}: unparseable value {value_text!r} for "
+                f"{name}")
+            continue
+        labels = parse_labels(label_block or "", errors, lineno)
+        samples.append((name, labels, value, lineno))
+        seen_families.add(family_of(name))
+
+    # Histogram invariants, per family and per non-le label set.
+    for family, ptype in types.items():
+        if ptype != "histogram":
+            continue
+        series = {}  # frozenset(non-le labels) -> list[(le, count, lineno)]
+        counts = {}  # frozenset(labels) -> _count value
+        for name, labels, value, lineno in samples:
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: {name} without an le label")
+                    continue
+                key = frozenset(
+                    (k, v) for k, v in labels.items() if k != "le")
+                series.setdefault(key, []).append(
+                    (parse_value(le), value, lineno))
+            elif name == family + "_count":
+                counts[frozenset(labels.items())] = (value, lineno)
+        for key, buckets in series.items():
+            les = [b[0] for b in buckets]
+            if les != sorted(les):
+                errors.append(
+                    f"{family}: bucket le values not ascending ({les})")
+            values = [b[1] for b in buckets]
+            if values != sorted(values):
+                errors.append(
+                    f"{family}: bucket counts not monotone ({values})")
+            if not buckets or not math.isinf(buckets[-1][0]):
+                errors.append(f"{family}: missing +Inf bucket")
+                continue
+            if key in counts and buckets[-1][1] != counts[key][0]:
+                errors.append(
+                    f"{family}: +Inf bucket {buckets[-1][1]:g} != _count "
+                    f"{counts[key][0]:g}")
+    return errors, samples
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default="-",
+                        help="exposition file ('-' = stdin, the default)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a sample of NAME exists")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a sample of NAME exists with a "
+                             "nonzero value")
+    args = parser.parse_args()
+
+    try:
+        if args.path == "-":
+            lines = sys.stdin.readlines()
+        else:
+            with open(args.path, "r", encoding="utf-8") as f:
+                lines = f.readlines()
+    except OSError as e:
+        print(f"check_exposition: cannot read {args.path}: {e}",
+              file=sys.stderr)
+        return 2
+    if not any(line.strip() for line in lines):
+        print("check_exposition: empty exposition", file=sys.stderr)
+        return 2
+
+    errors, samples = validate(lines)
+    by_name = {}
+    for name, _, value, _ in samples:
+        by_name.setdefault(name, []).append(value)
+
+    for name in args.require:
+        if name not in by_name:
+            errors.append(f"required series {name} is missing")
+    for name in args.require_nonzero:
+        values = by_name.get(name)
+        if values is None:
+            errors.append(f"required series {name} is missing")
+        elif not any(v != 0 for v in values):
+            errors.append(
+                f"required series {name} is all-zero ({len(values)} "
+                f"sample(s)) — stale or never observed")
+
+    if errors:
+        print("check_exposition: FAILED", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"check_exposition: OK ({len(samples)} samples, "
+          f"{len(by_name)} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,12 +25,21 @@
 //                 [--checkpoint path] [--name default]
 //                 [--batch-window-us 1000] [--max-batch 64]
 //                 [--max-pending 256]
+//                 [--slo-p99-ms MS] [--slo-error-rate FRAC]
+//                 [--access-log [path]] [--access-log-sample N]
 //       Serve classify/embed traffic over the length-prefixed TCP protocol
 //       with dynamic micro-batching; SIGTERM/SIGINT drain gracefully.
+//       --slo-* evaluate the rolling 60s window and emit structured
+//       breach/recovery events on stderr; --access-log writes one JSON
+//       line per request (stderr/stdout/file, every Nth with --access-
+//       log-sample).
 //   tsfm serve reload --prefix new_prefix [--port 7070] [--host IP]
 //       Hot-swap a re-fitted bundle into a running server (zero downtime).
 //   tsfm serve stats [--port 7070]   print the server's live metrics
 //   tsfm serve stop  [--port 7070]   ask the server to drain and exit
+//   tsfm serve-stats [--port 7070] [--follow] [--interval-ms 1000]
+//       Scrape a running server's metrics in Prometheus text exposition
+//       format (one shot, or repeatedly with --follow).
 //   tsfm pipeline describe [--model moment|vit] [--adapter PCA|...|none]
 //                 [--dprime 5] [--classes 2] [--checkpoint path]
 //                 [--prefix saved_prefix] [--check-fitted]
@@ -121,6 +130,10 @@ ArgMap ParseArgs(int argc, char** argv, int start) {
       args["metrics"] = next_is_value ? argv[++i] : "stderr";
     } else if (std::strcmp(argv[i], "--report") == 0) {
       args["report"] = next_is_value ? argv[++i] : "reports";
+    } else if (std::strcmp(argv[i], "--access-log") == 0) {
+      args["access-log"] = next_is_value ? argv[++i] : "stderr";
+    } else if (std::strcmp(argv[i], "--follow") == 0) {
+      args["follow"] = "1";
     } else if (next_is_value) {
       const std::string key = argv[i] + 2;
       args[key] = argv[++i];
@@ -472,6 +485,12 @@ int CmdServeRun(const ArgMap& args) {
   options.batch.window_us = std::stoll(GetOr(args, "batch-window-us", "1000"));
   options.batch.max_batch = std::stoll(GetOr(args, "max-batch", "64"));
   options.max_pending = std::stoll(GetOr(args, "max-pending", "256"));
+  options.slo.p99_ms = std::atof(GetOr(args, "slo-p99-ms", "0").c_str());
+  options.slo.error_rate =
+      std::atof(GetOr(args, "slo-error-rate", "0").c_str());
+  options.access_log.path = GetOr(args, "access-log", "");
+  options.access_log.sample =
+      std::stoll(GetOr(args, "access-log-sample", "1"));
   // `tsfm serve reload` hot-swaps a re-fitted bundle with the same model,
   // adapter kind, and class count into the serving slot.
   options.reload_fn = [model, adapter, classes,
@@ -563,6 +582,36 @@ int CmdServeClient(const std::string& verb, const ArgMap& args) {
   std::fprintf(stderr, "unknown serve verb '%s' (reload|stats|stop)\n",
                verb.c_str());
   return 1;
+}
+
+// `tsfm serve-stats`: scrape a running server's metrics in Prometheus text
+// exposition format; --follow re-scrapes every --interval-ms until killed.
+int CmdServeStats(const ArgMap& args) {
+  const std::string host = GetOr(args, "host", "127.0.0.1");
+  const int port = std::atoi(GetOr(args, "port", "7070").c_str());
+  const bool follow = GetOr(args, "follow", "") == "1";
+  const int interval_ms =
+      std::atoi(GetOr(args, "interval-ms", "1000").c_str());
+  auto client = serve::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  do {
+    auto text = client->MetricsText();
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    std::fflush(stdout);
+    if (follow) {
+      std::printf("\n");  // blank line between scrapes for `--follow` eyes
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          interval_ms > 0 ? interval_ms : 1000));
+    }
+  } while (follow && g_serve_signal.load(std::memory_order_relaxed) == 0);
+  return 0;
 }
 
 void PrintStages(const std::vector<pipeline::StageDescription>& stages) {
@@ -719,7 +768,7 @@ int CmdCache(const std::string& verb, const ArgMap& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tsfm <datasets|generate|estimate|classify|predict|"
-               "serve|cache|pipeline> [--args]\n"
+               "serve|serve-stats|cache|pipeline> [--args]\n"
                "       [--trace out.json] [--profile out.txt|.json|.folded]\n"
                "       [--metrics [dest]] [--report [dir]] [--threads N]\n"
                "       [--mem-budget BYTES[K|M|G]] [--time-budget SECONDS]\n"
@@ -784,6 +833,10 @@ int Main(int argc, char** argv) {
     const std::string verb =
         argc > 2 && std::strncmp(argv[2], "--", 2) != 0 ? argv[2] : "";
     rc = verb.empty() ? CmdServeRun(args) : CmdServeClient(verb, args);
+  } else if (command == "serve-stats") {
+    std::signal(SIGTERM, OnServeSignal);
+    std::signal(SIGINT, OnServeSignal);
+    rc = CmdServeStats(args);
   } else if (command == "cache") {
     rc = CmdCache(argc > 2 && std::strncmp(argv[2], "--", 2) != 0 ? argv[2]
                                                                   : "list",

@@ -6,6 +6,12 @@
 //       [--expected labels.txt]       # per-line labels from `tsfm predict`;
 //                                     # request r must match line (r % N)
 //       [--out bench_results/BENCH_serve.json]
+//       [--bench-prefix ObsOn]        # rename BM_ServeP99 -> BM_ServeObsOnP99
+//                                     # etc. so paired obs-on/off waves can
+//                                     # coexist in one merged JSON
+//       [--trace out.json]            # record client-side trace spans (each
+//                                     # request carries its trace id over the
+//                                     # wire) and dump chrome://tracing JSON
 //
 // Each connection is a blocking serve::Client. In closed-loop mode every
 // connection issues its next request as soon as the previous response
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "data/csv.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "tensor/tensor.h"
 
@@ -47,6 +54,8 @@ struct Options {
   std::string input;
   std::string expected;
   std::string out;
+  std::string bench_prefix;  // inserted after "BM_Serve" in benchmark names
+  std::string trace;         // chrome://tracing JSON output path
   int connections = 4;
   int64_t requests = 200;
   bool open_loop = false;
@@ -77,6 +86,10 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       opt->expected = v;
     } else if (a == "--out" && (v = next())) {
       opt->out = v;
+    } else if (a == "--bench-prefix" && (v = next())) {
+      opt->bench_prefix = v;
+    } else if (a == "--trace" && (v = next())) {
+      opt->trace = v;
     } else if (a == "--connections" && (v = next())) {
       opt->connections = std::atoi(v);
     } else if (a == "--requests" && (v = next())) {
@@ -95,7 +108,8 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     std::fprintf(stderr,
                  "usage: tsfm_loadgen --port P --input data.csv "
                  "[--connections N] [--requests R] [--mode closed|open] "
-                 "[--rate RPS] [--expected labels.txt] [--out file.json]\n");
+                 "[--rate RPS] [--expected labels.txt] [--out file.json] "
+                 "[--bench-prefix Name] [--trace out.json]\n");
     return false;
   }
   return true;
@@ -172,6 +186,7 @@ int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
 }
 
 int Run(const Options& opt) {
+  if (!opt.trace.empty()) obs::EnableTracing();
   auto ds = data::LoadCsv(opt.input, "loadgen");
   if (!ds.ok()) {
     std::fprintf(stderr, "input: %s\n", ds.status().ToString().c_str());
@@ -247,6 +262,7 @@ int Run(const Options& opt) {
       std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
       return 2;
     }
+    const std::string prefix = "BM_Serve" + opt.bench_prefix;
     char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
@@ -254,11 +270,11 @@ int Run(const Options& opt) {
         "  \"context\": {\"executable\": \"tsfm_loadgen\", "
         "\"connections\": %d, \"requests\": %lld, \"mode\": \"%s\"},\n"
         "  \"benchmarks\": [\n"
-        "    {\"name\": \"BM_ServeP99\", \"run_type\": \"iteration\",\n"
+        "    {\"name\": \"%sP99\", \"run_type\": \"iteration\",\n"
         "     \"iterations\": %lld, \"real_time\": %lld, "
         "\"cpu_time\": %lld, \"time_unit\": \"ns\",\n"
         "     \"p50\": %lld, \"p95\": %lld},\n"
-        "    {\"name\": \"BM_ServeThroughput\", \"run_type\": "
+        "    {\"name\": \"%sThroughput\", \"run_type\": "
         "\"iteration\",\n"
         "     \"iterations\": %lld, \"real_time\": %.1f, "
         "\"cpu_time\": %.1f, \"time_unit\": \"ns\",\n"
@@ -266,13 +282,24 @@ int Run(const Options& opt) {
         "  ]\n"
         "}\n",
         opt.connections, static_cast<long long>(opt.requests),
-        opt.open_loop ? "open" : "closed", static_cast<long long>(answered),
+        opt.open_loop ? "open" : "closed", prefix.c_str(),
+        static_cast<long long>(answered),
         static_cast<long long>(p99), static_cast<long long>(p99),
         static_cast<long long>(p50), static_cast<long long>(p95),
-        static_cast<long long>(answered), mean_ns_per_req, mean_ns_per_req,
-        throughput);
+        prefix.c_str(), static_cast<long long>(answered), mean_ns_per_req,
+        mean_ns_per_req, throughput);
     os << buf;
     std::printf("wrote %s\n", opt.out.c_str());
+  }
+
+  if (!opt.trace.empty()) {
+    if (obs::WriteTrace(opt.trace)) {
+      std::fprintf(stderr, "trace: wrote %lld spans to %s\n",
+                   static_cast<long long>(obs::TraceEventCount()),
+                   opt.trace.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", opt.trace.c_str());
+    }
   }
 
   const bool all_answered = answered == opt.requests;
