@@ -15,6 +15,7 @@
 #include "memory/buffer_pool.h"
 #include "models/moment.h"
 #include "models/vit.h"
+#include "simd/dispatch.h"
 #include "tensor/ops.h"
 
 namespace tsfm {
@@ -70,6 +71,47 @@ void BM_EncoderForwardGraph(benchmark::State& state) {
   for (auto _ : state) fwd();
 }
 BENCHMARK(BM_EncoderForwardGraph);
+
+// Quantized-inference pair: the same frozen encoder forward at bench scale
+// (MomentSmallConfig, d_model 64 / d_hidden 128 — the test config's d=16
+// matmuls are too small for quantization to pay for its per-row activation
+// pass) in fp32 against int8+SIMD. The paired CI gate requires
+// BM_EncoderForwardInt8 <= 0.67x BM_EncoderForwardFp32 (>= 1.5x speedup).
+constexpr int64_t kQuantSteps = 64;
+
+void BM_EncoderForwardFp32(benchmark::State& state) {
+  Rng rng(3);
+  models::MomentModel model(models::MomentSmallConfig(), &rng);
+  Tensor x = Tensor::RandN({kBatch, kQuantSteps, kChannels}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  graph::ScopedGraphMode mode(false);
+  ag::NoGradGuard guard;
+  const auto fwd = [&] {
+    ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+    benchmark::DoNotOptimize(emb.value().data());
+  };
+  state.counters["peak_bytes"] = MeasurePeakBytes(fwd);
+  for (auto _ : state) fwd();
+}
+BENCHMARK(BM_EncoderForwardFp32);
+
+void BM_EncoderForwardInt8(benchmark::State& state) {
+  Rng rng(3);
+  models::MomentModel model(models::MomentSmallConfig(), &rng);
+  Tensor x = Tensor::RandN({kBatch, kQuantSteps, kChannels}, &rng);
+  nn::ForwardContext ctx{false, nullptr};
+  simd::ScopedQuantMode quant(true);
+  simd::ScopedSimdMode simd_on(true);
+  ag::NoGradGuard guard;
+  model.PrepareQuantized();  // scales computed once, as at checkpoint load
+  const auto fwd = [&] {
+    ag::Var emb = model.EncodeChannels(ag::Constant(x), ctx);
+    benchmark::DoNotOptimize(emb.value().data());
+  };
+  state.counters["peak_bytes"] = MeasurePeakBytes(fwd);
+  for (auto _ : state) fwd();
+}
+BENCHMARK(BM_EncoderForwardInt8);
 
 void BM_VitForwardEager(benchmark::State& state) {
   Rng rng(2);

@@ -19,6 +19,8 @@
 #include "optim/optim.h"
 #include "pipeline/session.h"
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
+#include "simd/quant.h"
 #include "tensor/ops.h"
 
 namespace tsfm {
@@ -56,6 +58,50 @@ void BM_Softmax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Softmax)->Arg(64)->Arg(1024);
+
+// SIMD-mode row kernels against the scalar fp32 kernels they replace:
+// Arg(0) = scalar mode, Arg(1) = SIMD mode. Both are watched by
+// bench_compare.py, so a regression in either dispatch path trips CI.
+void BM_SoftmaxRow(benchmark::State& state) {
+  simd::ScopedSimdMode mode(state.range(0) != 0);
+  Rng rng(31);
+  Tensor t = Tensor::RandN({256, 256}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_SoftmaxRow)->Arg(0)->Arg(1);
+
+void BM_GeluRow(benchmark::State& state) {
+  simd::ScopedSimdMode mode(state.range(0) != 0);
+  Rng rng(32);
+  Tensor t = Tensor::RandN({256, 256}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gelu(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_GeluRow)->Arg(0)->Arg(1);
+
+// Int8 dynamically-quantized matmul (quantize activations per row, int32
+// accumulate, dequantize) against nothing but itself over sizes — the
+// fp32-vs-int8 end-to-end comparison lives in bench_micro_graph.cc as a
+// paired gate.
+void BM_QuantMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(33);
+  Tensor a = Tensor::RandN({n, n}, &rng);
+  Tensor w = Tensor::RandN({n, n}, &rng);
+  const simd::QuantizedMatrix q = simd::QuantizeWeight(w.data(), n, n);
+  Tensor c = Tensor::Empty({n, n});
+  for (auto _ : state) {
+    simd::QuantMatMul(a.data(), n, q, c.mutable_data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_QuantMatMul)->Arg(64)->Arg(256);
 
 void BM_BroadcastAdd(benchmark::State& state) {
   Rng rng(4);

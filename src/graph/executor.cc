@@ -11,6 +11,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
+#include "simd/simd_math.h"
 #include "tensor/op_math.h"
 #include "tensor/ops.h"
 
@@ -47,8 +49,11 @@ ExecMetrics& Metrics() {
 
 /// One scalar step of a stage program. Mirrors the eager kernels in
 /// tensor/ops.cc expression for expression — any divergence breaks the
-/// bit-identity contract.
-inline float ApplyStage(const EltStage& s, float v, float o) {
+/// bit-identity contract. In SIMD mode the transcendentals dispatch to the
+/// simd scalar references, which are bit-identical to the vectorized row
+/// kernels the eager path uses (simd/simd_math.h), so the contract holds in
+/// both modes. `simd_on` is sampled once per fused loop, not per element.
+inline float ApplyStage(const EltStage& s, float v, float o, bool simd_on) {
   switch (s.op) {
     case CapOp::kAdd: return v + o;
     case CapOp::kSub: return s.value_on_left ? v - o : o - v;
@@ -57,14 +62,16 @@ inline float ApplyStage(const EltStage& s, float v, float o) {
     case CapOp::kNeg: return -v;
     case CapOp::kScale: return v * s.immediate;
     case CapOp::kAddScalar: return v + s.immediate;
-    case CapOp::kExp: return std::exp(v);
+    case CapOp::kExp: return simd_on ? simd::ExpS(v) : std::exp(v);
     case CapOp::kLog: return std::log(v);
     case CapOp::kSqrt: return std::sqrt(v);
     case CapOp::kSquare: return v * v;
-    case CapOp::kTanh: return std::tanh(v);
-    case CapOp::kSigmoid: return ops::detail::SigmoidScalar(v);
+    case CapOp::kTanh: return simd_on ? simd::TanhS(v) : std::tanh(v);
+    case CapOp::kSigmoid:
+      return simd_on ? simd::SigmoidS(v) : ops::detail::SigmoidScalar(v);
     case CapOp::kRelu: return ops::detail::ReluScalar(v);
-    case CapOp::kGelu: return ops::detail::GeluScalar(v);
+    case CapOp::kGelu:
+      return simd_on ? simd::GeluS(v) : ops::detail::GeluScalar(v);
     default:
       TSFM_CHECK(false) << "non-eltwise op in stage program";
       return v;
@@ -99,6 +106,7 @@ void RunEltwise(const NodeDef& node, const std::vector<Tensor>& operands,
   }
   float* po = out->mutable_data();
   const std::vector<EltStage>& stages = node.stages;
+  const bool simd_on = simd::SimdEnabled();
 
   if (all_dense) {
     // Every operand is either element-aligned with the output or a scalar.
@@ -116,7 +124,7 @@ void RunEltwise(const NodeDef& node, const std::vector<Tensor>& operands,
                               ? bases[static_cast<size_t>(s.operand)]
                                      [i * steps[static_cast<size_t>(s.operand)]]
                               : 0.0f;
-          v = ApplyStage(s, v, o);
+          v = ApplyStage(s, v, o, simd_on);
         }
         po[i] = v;
       }
@@ -145,7 +153,7 @@ void RunEltwise(const NodeDef& node, const std::vector<Tensor>& operands,
                 ? views[static_cast<size_t>(s.operand)]
                       .base[offsets[static_cast<size_t>(s.operand)]]
                 : 0.0f;
-        v = ApplyStage(s, v, o);
+        v = ApplyStage(s, v, o, simd_on);
       }
       po[i] = v;
       for (size_t d = ndim; d-- > 0;) {

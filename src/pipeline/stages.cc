@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "optim/optim.h"
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
 #include "tensor/ops.h"
 
 namespace tsfm::pipeline {
@@ -155,7 +156,9 @@ Result<Tensor> EmbedStage::Apply(const Tensor& x,
                              ctx.cache_salt, ctx.cache_stats, &mode);
   } else {
     // Per-request path: never hash the model per call.
-    mode = graph::GraphModeEnabled() ? "graph" : "eager";
+    mode = simd::QuantModeEnabled()
+               ? "int8"
+               : (graph::GraphModeEnabled() ? "graph" : "eager");
     emb = EmbedDataset(*model_, x, ctx.batch_size, ctx.seed);
   }
   if (ctx.embed_mode != nullptr) *ctx.embed_mode = mode;
@@ -299,8 +302,14 @@ std::string EmbedCacheKey(const models::FoundationModel& model,
   // different train stats on the same raw tensor can never hit a stale
   // entry.
   io::HashBuilder key;
-  key.AddString("tsfm.embed.v3");
+  key.AddString("tsfm.embed.v4");
   key.AddString(salt);
+  // Numeric mode is part of the key: SIMD transcendentals and the int8
+  // Linear path produce results that differ (within the accuracy epsilon)
+  // from the scalar fp32 kernels, so their embeddings must never share a
+  // cache entry with fp32 runs. Graph/eager stay unkeyed — see below.
+  key.AddString(simd::QuantModeEnabled() ? "quant-int8" : "fp32");
+  key.AddString(simd::SimdEnabled() ? "simd" : "scalar");
   key.AddU64(static_cast<uint64_t>(batch_size));
   if (stats != nullptr && stats->mean.numel() > 0) {
     key.AddString("stats");
@@ -321,10 +330,14 @@ Tensor EmbedDatasetCached(const models::FoundationModel& model,
                           const Tensor& x, int64_t batch_size, uint64_t seed,
                           const std::string& salt,
                           const data::ChannelStats* stats, std::string* mode) {
-  // The cache key is deliberately independent of execution mode: graph and
-  // eager runs are bit-identical, so they share entries (asserted by the CI
-  // smoke test that warms the cache eager and hits it with --graph).
-  const char* encoder_mode = graph::GraphModeEnabled() ? "graph" : "eager";
+  // The cache key is deliberately independent of graph-vs-eager: those runs
+  // are bit-identical, so they share entries (asserted by the CI smoke test
+  // that warms the cache eager and hits it with --graph). Quant/SIMD modes
+  // ARE keyed (see EmbedCacheKey).
+  const char* encoder_mode = simd::QuantModeEnabled()
+                                 ? "int8"
+                                 : (graph::GraphModeEnabled() ? "graph"
+                                                              : "eager");
   if (mode != nullptr) *mode = encoder_mode;
   if (!io::EmbedCacheEnabled()) {
     return EmbedDataset(model, x, batch_size, seed);

@@ -1,0 +1,55 @@
+#ifndef TSFM_SIMD_QUANT_H_
+#define TSFM_SIMD_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+// Int8 dynamic quantization for frozen (no-grad) inference.
+//
+// Scheme: symmetric per-output-channel weight scales computed once
+// (checkpoint load or first frozen forward), symmetric per-row dynamic
+// activation scales computed on the fly, int8 x int8 -> int32 exact integer
+// accumulation, dequantize at the layer boundary:
+//
+//   C[i][j] = float(sum_k qa[i][k] * qw[k][j]) * sa_i * sw_j
+//
+// Because the accumulation is exact integer arithmetic, the result is
+// independent of summation order: bit-identical across thread counts AND
+// across the scalar / AVX2 kernels, a strictly stronger determinism
+// guarantee than the fp32 path needs.
+//
+// The AVX2 kernel widens int8 to int16 and uses _mm256_madd_epi16 with a
+// k-pair-interleaved packed copy of the weights (layout [ceil(k/2)][n][2]),
+// giving 16 multiply-accumulates per instruction. |q| <= 127 keeps every
+// madd pair below 2*127^2, so int32 accumulators are exact for k up to
+// 2^16 (checked).
+namespace tsfm::simd {
+
+struct QuantizedMatrix {
+  int64_t rows = 0;  // k: input features
+  int64_t cols = 0;  // n: output features
+  std::vector<int8_t> data;    // row-major (rows, cols), values in [-127,127]
+  std::vector<float> scales;   // per-column dequant scale, size cols
+  // Kernel-ready k-pair-interleaved int16 copy, [ceil(rows/2)][cols][2],
+  // zero-padded on odd rows. Built by PackQuantized; not serialized.
+  std::vector<int16_t> packed;
+};
+
+/// Quantizes a row-major (rows, cols) fp32 weight matrix with per-column
+/// symmetric scales (round-to-nearest-even, clamped to [-127, 127];
+/// all-zero columns get scale 1). The result is packed and kernel-ready.
+QuantizedMatrix QuantizeWeight(const float* w, int64_t rows, int64_t cols);
+
+/// (Re)builds `packed` from `data`. Call after filling data/scales by hand
+/// (e.g. when loading a quantized checkpoint).
+void PackQuantized(QuantizedMatrix* q);
+
+/// C(m, q.cols) = A(m, q.rows) x dequant(q). A row-major, C row-major.
+/// Per-row activation scales are derived dynamically from A. Deterministic
+/// at any thread count; bit-identical between scalar and AVX2 kernels.
+void QuantMatMul(const float* a, int64_t m, const QuantizedMatrix& q,
+                 float* c);
+
+}  // namespace tsfm::simd
+
+#endif  // TSFM_SIMD_QUANT_H_

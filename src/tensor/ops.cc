@@ -7,6 +7,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
+#include "simd/simd_math.h"
 #include "tensor/op_math.h"
 
 namespace tsfm {
@@ -102,6 +104,51 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.base();
   const float* pb = b.base();
   float* po = out.mutable_data();
+
+  // Row fast path: when the last axis is dense (unit or broadcast stride) on
+  // both inputs — bias adds, per-row statistics, affine gains all land here —
+  // the odometer runs once per ROW instead of once per element, and the
+  // dense inner loops vectorize. Results are pointwise identical to the
+  // generic path; only the index arithmetic changes.
+  const int64_t row_len = out_shape.empty() ? 0 : out_shape[nd - 1];
+  const bool a_dense = nd > 0 && (sa[nd - 1] == 1 || sa[nd - 1] == 0);
+  const bool b_dense = nd > 0 && (sb[nd - 1] == 1 || sb[nd - 1] == 0);
+  if (row_len >= 8 && a_dense && b_dense) {
+    const int64_t rows = out.numel() / row_len;
+    const bool a_unit = sa[nd - 1] == 1;
+    const bool b_unit = sb[nd - 1] == 1;
+    const int64_t grain =
+        std::max<int64_t>(1, kElementwiseGrain / row_len);
+    runtime::ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        int64_t ia = 0, ib = 0, rem = r;
+        for (int64_t d = 0; d + 1 < nd; ++d) {
+          const int64_t outer = so[d] / row_len;
+          const int64_t idx = rem / outer;
+          rem -= idx * outer;
+          ia += idx * sa[d];
+          ib += idx * sb[d];
+        }
+        const float* ra = pa + ia;
+        const float* rb = pb + ib;
+        float* ro = po + r * row_len;
+        if (a_unit && b_unit) {
+          for (int64_t i = 0; i < row_len; ++i) ro[i] = f(ra[i], rb[i]);
+        } else if (a_unit) {
+          const float y = rb[0];
+          for (int64_t i = 0; i < row_len; ++i) ro[i] = f(ra[i], y);
+        } else if (b_unit) {
+          const float x = ra[0];
+          for (int64_t i = 0; i < row_len; ++i) ro[i] = f(x, rb[i]);
+        } else {
+          const float v = f(ra[0], rb[0]);
+          for (int64_t i = 0; i < row_len; ++i) ro[i] = v;
+        }
+      }
+    });
+    return out;
+  }
+
   runtime::ParallelFor(
       0, out.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -151,6 +198,29 @@ Tensor UnaryOp(const Tensor& t, F f) {
           po[i] = f(p[src]);
         }
       });
+  return out;
+}
+
+// SIMD-mode unary: vectorized row kernel on the contiguous fast path, the
+// kernel's scalar reference on the strided gather path. Each row kernel is
+// bit-identical to its scalar reference applied element-wise, at any split
+// point (simd/simd_math.h), so contiguity, chunk boundaries, and thread
+// count cannot change output bits.
+using RowKernel = void (*)(const float*, float*, int64_t);
+using ScalarKernel = float (*)(float);
+Tensor UnaryRowOp(const Tensor& t, RowKernel row, ScalarKernel scal) {
+  if (!t.is_contiguous()) return UnaryOp(t, scal);
+  OpMetrics& m = Metrics();
+  m.elementwise_calls->Add(1);
+  m.elementwise_bytes->Add(
+      static_cast<uint64_t>(2 * t.numel() * sizeof(float)));
+  Tensor out = Tensor::Empty(t.shape());
+  float* po = out.mutable_data();
+  const float* p = t.data();
+  runtime::ParallelFor(0, t.numel(), kElementwiseGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         row(p + lo, po + lo, hi - lo);
+                       });
   return out;
 }
 
@@ -249,6 +319,7 @@ Tensor Neg(const Tensor& t) {
   return UnaryOp(t, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& t) {
+  if (simd::SimdEnabled()) return UnaryRowOp(t, simd::ExpRow, simd::ExpS);
   return UnaryOp(t, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& t) {
@@ -258,15 +329,20 @@ Tensor Sqrt(const Tensor& t) {
   return UnaryOp(t, [](float x) { return std::sqrt(x); });
 }
 Tensor Tanh(const Tensor& t) {
+  if (simd::SimdEnabled()) return UnaryRowOp(t, simd::TanhRow, simd::TanhS);
   return UnaryOp(t, [](float x) { return std::tanh(x); });
 }
 Tensor Sigmoid(const Tensor& t) {
+  if (simd::SimdEnabled()) {
+    return UnaryRowOp(t, simd::SigmoidRow, simd::SigmoidS);
+  }
   return UnaryOp(t, [](float x) { return ops::detail::SigmoidScalar(x); });
 }
 Tensor Relu(const Tensor& t) {
   return UnaryOp(t, [](float x) { return ops::detail::ReluScalar(x); });
 }
 Tensor Gelu(const Tensor& t) {
+  if (simd::SimdEnabled()) return UnaryRowOp(t, simd::GeluRow, simd::GeluS);
   return UnaryOp(t, [](float x) { return ops::detail::GeluScalar(x); });
 }
 Tensor Abs(const Tensor& t) {
@@ -655,6 +731,21 @@ void SumInto(const Tensor& t, int64_t axis, bool keepdim, Tensor* out) {
   // single-threaded loop.
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len * inner));
+  if (inner == 1) {
+    // Last-axis reduction (layer-norm statistics): keep the accumulator in
+    // a register instead of re-loading po[o] every step. Same ascending-l
+    // addition order as the generic loop, so the float result is
+    // bit-identical.
+    runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t o = lo; o < hi; ++o) {
+        const float* src = pi + o * len;
+        float acc = 0.0f;
+        for (int64_t l = 0; l < len; ++l) acc += src[l];
+        po[o] = acc;
+      }
+    });
+    return;
+  }
   runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
       for (int64_t l = 0; l < len; ++l) {
@@ -738,9 +829,18 @@ void SoftmaxInto(const Tensor& t, Tensor* out) {
   float* po = out->mutable_data();
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
+  // Row choice is mode-global, never per-row: every row of a tensor (and of
+  // a whole run) goes through the same kernel. Both kernels share the same
+  // non-finite contract (op_math.h); the SIMD kernel's denominator reduction
+  // order differs, bounded by the CI accuracy-epsilon gate.
+  const bool use_simd = simd::SimdEnabled();
   runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
-      ops::detail::SoftmaxRow(pi + o * len, po + o * len, len);
+      if (use_simd) {
+        simd::SoftmaxRow(pi + o * len, po + o * len, len);
+      } else {
+        ops::detail::SoftmaxRow(pi + o * len, po + o * len, len);
+      }
     }
   });
 }
@@ -762,9 +862,14 @@ Tensor LogSoftmax(const Tensor& t) {
   float* po = out.mutable_data();
   const int64_t grain =
       std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, len));
+  const bool use_simd = simd::SimdEnabled();
   runtime::ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
-      ops::detail::LogSoftmaxRow(pi + o * len, po + o * len, len);
+      if (use_simd) {
+        simd::LogSoftmaxRow(pi + o * len, po + o * len, len);
+      } else {
+        ops::detail::LogSoftmaxRow(pi + o * len, po + o * len, len);
+      }
     }
   });
   return out;

@@ -39,6 +39,38 @@ void PackTo(const Tensor& src, float* dst) {
   const Shape& strides = src.strides();
   const float* base = src.base();
   const int64_t nd = src.ndim();
+
+  // Row fast path: decode the odometer once per innermost row instead of
+  // once per element. Permuted attention-head views keep the last axis
+  // dense, so each row is a straight memcpy; any other last-axis stride
+  // still drops the per-element div/mod chain. Pure gather either way —
+  // every output value is identical to the generic loop's.
+  const int64_t row = shape[static_cast<size_t>(nd - 1)];
+  if (row >= 2) {
+    const int64_t s_last = strides[static_cast<size_t>(nd - 1)];
+    const int64_t rows = n / row;
+    const int64_t grain = std::max<int64_t>(1, kPackGrain / row);
+    runtime::ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        int64_t rem = r;
+        int64_t off = 0;
+        for (int64_t d = nd - 2; d >= 0; --d) {
+          const int64_t sz = shape[static_cast<size_t>(d)];
+          off += (rem % sz) * strides[static_cast<size_t>(d)];
+          rem /= sz;
+        }
+        float* out = dst + r * row;
+        const float* in = base + off;
+        if (s_last == 1) {
+          std::memcpy(out, in, static_cast<size_t>(row) * sizeof(float));
+        } else {
+          for (int64_t j = 0; j < row; ++j) out[j] = in[j * s_last];
+        }
+      }
+    });
+    return;
+  }
+
   runtime::ParallelFor(0, n, kPackGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       int64_t rem = i;

@@ -41,6 +41,14 @@ WATCHED_PREFIXES = (
     # p99 latency and mean ns/request of the dynamically-batched server.
     "BM_ServeP99",
     "BM_ServeThroughput",
+    # SIMD row kernels and the int8 quantized path (ISSUE 10): the fused
+    # softmax/gelu rows, the quantized GEMM, and the encoder-forward pair
+    # that carries the quantization speedup gate below.
+    "BM_SoftmaxRow/",
+    "BM_GeluRow/",
+    "BM_QuantMatMul/",
+    "BM_EncoderForwardFp32",
+    "BM_EncoderForwardInt8",
 )
 
 # name -> (counter, max allowed value) hard invariants on the candidate run.
@@ -63,9 +71,14 @@ COUNTER_LIMITS = {
 # The absolute slack (5 ms) absorbs the extreme-order-statistic noise of a
 # few-hundred-request p99 on shared runners; a systematic tax (e.g. a
 # blocking flush on the response path) still lands far outside it.
+# The int8 pair carries the quantization acceptance criterion: the frozen
+# encoder forward under --quantize int8 must be at least 1.5x faster than
+# the same forward in fp32 (ratio <= 0.67). Both benches run the identical
+# MomentSmallConfig forward, so the ratio is shape- and machine-paired.
 PAIRED_GATES = (
     ("BM_EncoderForwardGraph", "BM_EncoderForwardEager", 0.90, "peak_bytes",
      0.0),
+    ("BM_EncoderForwardInt8", "BM_EncoderForwardFp32", 0.67, None, 0.0),
     ("BM_VitForwardGraph", "BM_VitForwardEager", 1.00, "peak_bytes", 0.0),
     ("BM_ServeObsOnP99", "BM_ServeBaseP99", 1.05, None, 5_000_000.0),
 )

@@ -66,7 +66,7 @@ EXECUTION_FIELDS = {
     "graph_peak_bytes": NUMBER,
 }
 
-EMBED_MODES = {"graph", "eager", "cache"}
+EMBED_MODES = {"graph", "eager", "cache", "int8"}
 
 RESULT_FIELDS = {
     "train_accuracy": NUMBER,
